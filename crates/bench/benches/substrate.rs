@@ -1,0 +1,124 @@
+//! Criterion microbenchmarks of the simulator's hot primitives.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hh_hwqueue::{Controller, ControllerConfig, VmKind};
+use hh_mem::{Access, AccessKind, CoreMem, Dram, HierarchyConfig, Llc, PageClass, PolicyKind, SetAssocCache, Visibility, WayMask};
+use hh_noc::{ControlTree, Mesh2D};
+use hh_sim::{CoreId, Cycles, Rng64, VmId};
+use hh_workload::{BatchCatalog, RequestPlan, ServiceCatalog, ServiceId};
+
+fn bench_cache_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_access");
+    for (name, policy) in [
+        ("lru", PolicyKind::Lru),
+        ("rrip", PolicyKind::Rrip),
+        ("hardharvest", PolicyKind::hardharvest_default()),
+    ] {
+        g.bench_function(name, |b| {
+            let mut cache = SetAssocCache::new(1024, 8, policy, WayMask::lower(4));
+            let all = WayMask::all(8);
+            let mut rng = Rng64::new(1);
+            b.iter(|| {
+                let key = rng.below(16384);
+                let shared = rng.chance(0.5);
+                black_box(cache.access(key, shared, all, false))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    c.bench_function("hierarchy_access", |b| {
+        let cfg = HierarchyConfig::table1();
+        let mut mem = CoreMem::new(&cfg, 0.5, PolicyKind::hardharvest_default());
+        let mut llc = Llc::new(1024, 16, &[4, 4]);
+        let mut dram = Dram::default();
+        let mut rng = Rng64::new(2);
+        b.iter(|| {
+            let a = Access::new(
+                VmId(0),
+                rng.below(1 << 22),
+                AccessKind::DataRead,
+                PageClass::Private,
+            );
+            black_box(mem.access(Cycles::ZERO, a, Visibility::Primary, &mut llc, &mut dram))
+        });
+    });
+}
+
+fn bench_queue_ops(c: &mut Criterion) {
+    c.bench_function("controller_enqueue_dequeue", |b| {
+        let mut ctrl = Controller::new(ControllerConfig::table1());
+        ctrl.register_vm(VmId(0), VmKind::Primary, 4);
+        let mut token = 0u64;
+        b.iter(|| {
+            token += 1;
+            ctrl.enqueue(VmId(0), token, Cycles::ZERO);
+            let (t, _, _) = ctrl.qm_mut(VmId(0)).dequeue().unwrap();
+            ctrl.qm_mut(VmId(0)).complete(t);
+        });
+    });
+}
+
+fn bench_noc(c: &mut Criterion) {
+    c.bench_function("mesh_and_tree_latency", |b| {
+        let mesh = Mesh2D::table1();
+        let tree = ControlTree::table1();
+        let mut i = 0u16;
+        b.iter(|| {
+            i = (i + 1) % 36;
+            black_box(mesh.latency(CoreId(i), CoreId(35 - i)));
+            black_box(tree.round_trip(CoreId(i)))
+        });
+    });
+}
+
+fn bench_streams(c: &mut Criterion) {
+    c.bench_function("request_plan_and_stream", |b| {
+        let catalog = ServiceCatalog::socialnet();
+        let mut rng = Rng64::new(3);
+        let mut inv = 0u64;
+        b.iter(|| {
+            inv += 1;
+            let plan =
+                RequestPlan::generate(ServiceId(0), catalog.get(ServiceId(0)), VmId(0), inv, &mut rng);
+            let mut n = 0u64;
+            for acc in plan.phases[0].stream.iter() {
+                n = n.wrapping_add(acc.addr);
+            }
+            black_box(n)
+        });
+    });
+    c.bench_function("batch_unit_stream", |b| {
+        let job = *BatchCatalog::paper().get(0);
+        let mut unit = 0u64;
+        b.iter(|| {
+            unit += 1;
+            let mut n = 0u64;
+            for acc in job.unit_stream(VmId(8), unit).iter() {
+                n = n.wrapping_add(acc.addr);
+            }
+            black_box(n)
+        });
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram_access", |b| {
+        let mut dram = Dram::default();
+        let mut rng = Rng64::new(4);
+        b.iter(|| black_box(dram.access(Cycles::ZERO, rng.below(1 << 30))));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cache_policies,
+    bench_hierarchy,
+    bench_queue_ops,
+    bench_noc,
+    bench_streams,
+    bench_dram
+);
+criterion_main!(benches);

@@ -1,0 +1,206 @@
+//! Cluster-level simulation: 8 independent servers, one batch job each.
+//!
+//! The paper's cluster is deliberately communication-free — microservices
+//! only talk to services on the same server, and backends live on dedicated
+//! machines whose latency is injected — so the 8 servers simulate in
+//! parallel on real threads, exactly like the paper parallelizes its SST
+//! instances (Section 5).
+
+use hh_server::{ServerConfig, ServerMetrics, ServerSim, SystemSpec};
+use hh_sim::stats::Samples;
+use serde::Serialize;
+
+/// How large an experiment run is.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Scale {
+    /// Servers in the cluster (paper: 8, one batch job each).
+    pub servers: usize,
+    /// Invocations per Primary VM.
+    pub requests_per_vm: usize,
+    /// Offered load per Primary VM (requests/second).
+    pub rps_per_vm: f64,
+}
+
+impl Scale {
+    /// Fast runs for tests and smoke checks (~seconds).
+    pub fn quick() -> Self {
+        Scale {
+            servers: 2,
+            requests_per_vm: 300,
+            rps_per_vm: 800.0,
+        }
+    }
+
+    /// The figure-generation scale: all 8 batch jobs, enough samples for a
+    /// stable P99.
+    pub fn paper() -> Self {
+        Scale {
+            servers: 8,
+            requests_per_vm: 1500,
+            rps_per_vm: 800.0,
+        }
+    }
+
+    /// Low-load variant for steady-state single-request measurements
+    /// (Figure 6).
+    pub fn light_load(self) -> Self {
+        Scale {
+            rps_per_vm: 120.0,
+            ..self
+        }
+    }
+}
+
+/// Merged metrics of one cluster run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterMetrics {
+    /// System label.
+    pub system: &'static str,
+    /// Per-server metrics (index = server = batch job).
+    pub servers: Vec<ServerMetrics>,
+}
+
+impl ClusterMetrics {
+    /// Latency samples of one service pooled across servers, milliseconds.
+    pub fn service_latency_ms(&self, service: usize) -> Samples {
+        let mut s = Samples::new();
+        for srv in &self.servers {
+            s.merge(&srv.services[service].latency_ms);
+        }
+        s
+    }
+
+    /// All latency samples pooled, milliseconds.
+    pub fn pooled_latency_ms(&self) -> Samples {
+        let mut s = Samples::new();
+        for srv in &self.servers {
+            s.merge(&srv.pooled_latency_ms());
+        }
+        s
+    }
+
+    /// P99 of one service, milliseconds.
+    pub fn service_p99_ms(&self, service: usize) -> f64 {
+        self.service_latency_ms(service).p99()
+    }
+
+    /// Average busy cores across servers (Section 6.7).
+    pub fn avg_busy_cores(&self) -> f64 {
+        let sum: f64 = self.servers.iter().map(ServerMetrics::avg_busy_cores).sum();
+        sum / self.servers.len() as f64
+    }
+
+    /// Batch throughput of server `i` (its batch job), units/second.
+    pub fn batch_throughput(&self, server: usize) -> f64 {
+        self.servers[server].batch_units_per_sec()
+    }
+
+    /// Aggregate L2 hit rate.
+    pub fn l2_hit_rate(&self) -> f64 {
+        let hits: u64 = self.servers.iter().map(|s| s.l2_hits).sum();
+        let misses: u64 = self.servers.iter().map(|s| s.l2_misses).sum();
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+
+    /// Total completed requests.
+    pub fn completed(&self) -> u64 {
+        self.servers.iter().map(ServerMetrics::completed).sum()
+    }
+}
+
+/// Builds the per-server configuration for one cluster run. The `tweak`
+/// hook lets experiments adjust knobs (LLC size, capacity fraction, …).
+pub fn run_cluster_with(
+    system: SystemSpec,
+    scale: Scale,
+    seed: u64,
+    tweak: impl Fn(&mut ServerConfig) + Sync,
+) -> ClusterMetrics {
+    let configs: Vec<ServerConfig> = (0..scale.servers)
+        .map(|i| {
+            let mut cfg = ServerConfig::table1(system);
+            cfg.requests_per_vm = scale.requests_per_vm;
+            cfg.rps_per_vm = scale.rps_per_vm;
+            cfg.batch_job = i % 8;
+            cfg.seed = seed ^ ((i as u64 + 1) << 32);
+            tweak(&mut cfg);
+            cfg
+        })
+        .collect();
+
+    // Servers never communicate (Section 5), so each runs on its own
+    // thread, exactly like the paper farms SST instances out to machines.
+    let servers = std::thread::scope(|scope| {
+        let handles: Vec<_> = configs
+            .into_iter()
+            .map(|cfg| scope.spawn(move || ServerSim::new(cfg).run()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("server simulation panicked"))
+            .collect()
+    });
+
+    ClusterMetrics {
+        system: system.name,
+        servers,
+    }
+}
+
+/// Runs a cluster with stock Table 1 knobs.
+pub fn run_cluster(system: SystemSpec, scale: Scale, seed: u64) -> ClusterMetrics {
+    run_cluster_with(system, scale, seed, |_| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            servers: 2,
+            requests_per_vm: 60,
+            rps_per_vm: 800.0,
+        }
+    }
+
+    #[test]
+    fn cluster_runs_all_servers() {
+        let m = run_cluster(SystemSpec::no_harvest(), tiny(), 1);
+        assert_eq!(m.servers.len(), 2);
+        assert_eq!(m.completed(), 2 * 8 * 60);
+        assert!(m.avg_busy_cores() > 0.0);
+    }
+
+    #[test]
+    fn tweak_hook_applies() {
+        let m = run_cluster_with(SystemSpec::no_harvest(), tiny(), 2, |cfg| {
+            cfg.requests_per_vm = 30;
+        });
+        assert_eq!(m.completed(), 2 * 8 * 30);
+    }
+
+    #[test]
+    fn cluster_is_deterministic() {
+        let a = run_cluster(SystemSpec::hardharvest_block(), tiny(), 3);
+        let b = run_cluster(SystemSpec::hardharvest_block(), tiny(), 3);
+        assert_eq!(
+            a.pooled_latency_ms().values().len(),
+            b.pooled_latency_ms().values().len()
+        );
+        assert_eq!(a.avg_busy_cores(), b.avg_busy_cores());
+    }
+
+    #[test]
+    fn per_service_latency_extraction() {
+        let m = run_cluster(SystemSpec::no_harvest(), tiny(), 4);
+        for svc in 0..8 {
+            let p99 = m.service_p99_ms(svc);
+            assert!(p99 > 0.0, "service {svc}");
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Per-VM Queue Managers and VM state registers.
+
+use hh_sim::{CoreId, Cycles, VmId};
+use serde::{Deserialize, Serialize};
+
+use crate::{DequeueSource, EnqueueOutcome, RqMap, Subqueue};
+
+/// Whether a VM is latency-critical or a batch harvester.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VmKind {
+    /// Latency-critical microservice VM with a fixed core allocation.
+    Primary,
+    /// Batch VM that grows by harvesting idle Primary cores.
+    Harvest,
+}
+
+impl VmKind {
+    /// True for [`VmKind::Primary`].
+    pub fn is_primary(self) -> bool {
+        matches!(self, VmKind::Primary)
+    }
+}
+
+/// The per-VM HarvestMask register (Section 4.2.1): one bit per way for
+/// each of the six partitioned structures (L1I, L1D, L2, L1 I-TLB, L1
+/// D-TLB, L2 TLB), 5 B total in the paper's accounting. Loaded into a
+/// core's cache controllers when it is (re-)assigned to the VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HarvestMask {
+    /// Way bits per structure, in the order above (up to 32 ways each;
+    /// the paper packs them into 40 bits total, we keep them addressable).
+    pub ways: [u32; 6],
+}
+
+impl HarvestMask {
+    /// A mask granting the given fraction of each structure's ways, for
+    /// structures of the Table 1 geometries (8/12/8/4/4/8 ways).
+    pub fn fraction(frac: f64) -> Self {
+        let ways_of = [8usize, 12, 8, 4, 4, 8];
+        let mut ways = [0u32; 6];
+        for (i, &n) in ways_of.iter().enumerate() {
+            let k = ((n as f64 * frac).round() as usize).clamp(0, n);
+            ways[i] = if k == 0 { 0 } else { (1u32 << k) - 1 };
+        }
+        HarvestMask { ways }
+    }
+
+    /// Storage footprint in bytes (Section 6.8: 5 B).
+    pub const BYTES: usize = 5;
+}
+
+/// The VM State Register Set (Table 1: 16 registers of 8 B each): VMCS
+/// pointer, CR0, CR3, CR4, GDTR, LDTR, IDTR and friends. The simulator does
+/// not interpret the values; holding them in the controller is what lets a
+/// core switch VMs without a hypervisor call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VmStateRegs {
+    /// Raw register images.
+    pub regs: [u64; 16],
+}
+
+impl VmStateRegs {
+    /// Synthesizes a distinct register image for a VM.
+    pub fn for_vm(vm: VmId) -> Self {
+        let mut regs = [0u64; 16];
+        for (i, r) in regs.iter_mut().enumerate() {
+            *r = ((vm.0 as u64) << 32) | i as u64;
+        }
+        VmStateRegs { regs }
+    }
+
+    /// Storage footprint in bytes (Section 6.8 accounting).
+    pub const BYTES: usize = 16 * 8;
+}
+
+/// The hardware Queue Manager of one VM (Figure 9).
+///
+/// A QM owns the VM's request subqueue and RQ-Map, knows whether it manages
+/// a Primary or Harvest VM, tracks which bound cores are on loan, and holds
+/// the VM's HarvestMask and state registers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueueManager {
+    vm: VmId,
+    kind: VmKind,
+    queue: Subqueue,
+    /// Logical→physical chunk translation (Section 4.1.2).
+    rq_map: RqMap,
+    state: VmStateRegs,
+    /// The VM's cache/TLB harvest-region configuration.
+    harvest_mask: HarvestMask,
+    /// Cores logically bound to this VM (their `MyManager` register points
+    /// here).
+    bound: Vec<CoreId>,
+    /// Bound cores currently executing Harvest work (only meaningful for a
+    /// Primary QM).
+    on_loan: Vec<CoreId>,
+    /// Requests handed out and not yet completed.
+    inflight: usize,
+    enqueued: u64,
+    completed: u64,
+}
+
+impl QueueManager {
+    /// Creates a QM with the given subqueue.
+    pub fn new(vm: VmId, kind: VmKind, queue: Subqueue) -> Self {
+        QueueManager {
+            vm,
+            kind,
+            queue,
+            rq_map: RqMap::new(),
+            state: VmStateRegs::for_vm(vm),
+            harvest_mask: HarvestMask::fraction(0.5),
+            bound: Vec::new(),
+            on_loan: Vec::new(),
+            inflight: 0,
+            enqueued: 0,
+            completed: 0,
+        }
+    }
+
+    /// The managed VM.
+    pub fn vm(&self) -> VmId {
+        self.vm
+    }
+
+    /// Primary or Harvest.
+    pub fn kind(&self) -> VmKind {
+        self.kind
+    }
+
+    /// The VM state register set delivered to cores on a switch.
+    pub fn state_regs(&self) -> VmStateRegs {
+        self.state
+    }
+
+    /// The VM's HarvestMask register, delivered alongside the state
+    /// registers so the core can reconfigure its caches/TLBs.
+    pub fn harvest_mask(&self) -> HarvestMask {
+        self.harvest_mask
+    }
+
+    /// Reprograms the VM's HarvestMask (a default or software-specified
+    /// value, Section 4.2.1).
+    pub fn set_harvest_mask(&mut self, mask: HarvestMask) {
+        self.harvest_mask = mask;
+    }
+
+    /// Binds a core to this VM (sets its `MyManager` register).
+    pub fn bind_core(&mut self, core: CoreId) {
+        if !self.bound.contains(&core) {
+            self.bound.push(core);
+        }
+    }
+
+    /// Cores bound to this VM.
+    pub fn bound_cores(&self) -> &[CoreId] {
+        &self.bound
+    }
+
+    /// Marks a bound core as on loan to the Harvest VM.
+    ///
+    /// # Panics
+    /// Panics if the core is not bound to this VM or already on loan.
+    pub fn lend_core(&mut self, core: CoreId) {
+        assert!(self.bound.contains(&core), "core not bound to this VM");
+        assert!(!self.on_loan.contains(&core), "core already on loan");
+        self.on_loan.push(core);
+    }
+
+    /// Returns a loaned core to this VM.
+    ///
+    /// # Panics
+    /// Panics if the core was not on loan.
+    pub fn reclaim_core(&mut self, core: CoreId) {
+        let pos = self
+            .on_loan
+            .iter()
+            .position(|&c| c == core)
+            .expect("core was not on loan");
+        self.on_loan.remove(pos);
+    }
+
+    /// Cores currently on loan.
+    pub fn loaned_cores(&self) -> &[CoreId] {
+        &self.on_loan
+    }
+
+    /// Whether any bound core is on loan — the precondition for the QM to
+    /// raise a reclamation interrupt (Section 4.1.5).
+    pub fn has_loaned_core(&self) -> bool {
+        !self.on_loan.is_empty()
+    }
+
+    /// Direct access to the subqueue.
+    pub fn queue(&self) -> &Subqueue {
+        &self.queue
+    }
+
+    /// Mutable access to the subqueue (chunk donation).
+    pub fn queue_mut(&mut self) -> &mut Subqueue {
+        &mut self.queue
+    }
+
+    /// The QM's RQ-Map.
+    pub fn rq_map(&self) -> &RqMap {
+        &self.rq_map
+    }
+
+    /// Mutable RQ-Map (used by the controller's donation protocol).
+    pub fn rq_map_mut(&mut self) -> &mut RqMap {
+        &mut self.rq_map
+    }
+
+    /// Enqueues an arriving request (NIC → QM path, Figure 8(a)).
+    pub fn enqueue(&mut self, token: u64, now: Cycles) -> EnqueueOutcome {
+        self.enqueued += 1;
+        self.queue.enqueue(token, now)
+    }
+
+    /// Hands the oldest ready request to a spinning core.
+    pub fn dequeue(&mut self) -> Option<(u64, Cycles, DequeueSource)> {
+        let out = self.queue.dequeue_ready();
+        if out.is_some() {
+            self.inflight += 1;
+        }
+        out
+    }
+
+    /// Records a blocking I/O call for a running request.
+    pub fn mark_blocked(&mut self, token: u64) {
+        self.queue.mark_blocked(token);
+        self.inflight -= 1;
+    }
+
+    /// Records an I/O response: the request is runnable again.
+    pub fn mark_ready(&mut self, token: u64) {
+        self.queue.mark_ready(token);
+    }
+
+    /// Returns a preempted Harvest request to the ready queue.
+    pub fn preempt(&mut self, token: u64) {
+        self.queue.preempt(token);
+        self.inflight -= 1;
+    }
+
+    /// Retires a completed request.
+    pub fn complete(&mut self, token: u64) {
+        self.queue.complete(token);
+        self.inflight -= 1;
+        self.completed += 1;
+    }
+
+    /// Requests dequeued and currently executing on some core.
+    pub fn inflight(&self) -> usize {
+        self.inflight
+    }
+
+    /// Total requests enqueued (including overflowed ones).
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Total requests completed.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Whether work is waiting.
+    pub fn has_ready(&self) -> bool {
+        self.queue.has_ready()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qm(kind: VmKind) -> QueueManager {
+        QueueManager::new(VmId(1), kind, Subqueue::new(2, 4))
+    }
+
+    #[test]
+    fn state_regs_distinct_per_vm() {
+        let a = VmStateRegs::for_vm(VmId(1));
+        let b = VmStateRegs::for_vm(VmId(2));
+        assert_ne!(a, b);
+        assert_eq!(VmStateRegs::BYTES, 128);
+    }
+
+    #[test]
+    fn harvest_mask_fraction_covers_structures() {
+        let m = HarvestMask::fraction(0.5);
+        // Half of 8/12/8/4/4/8 ways: 4/6/4/2/2/4 bits set.
+        let counts: Vec<u32> = m.ways.iter().map(|w| w.count_ones()).collect();
+        assert_eq!(counts, vec![4, 6, 4, 2, 2, 4]);
+        assert_eq!(HarvestMask::BYTES, 5);
+        let zero = HarvestMask::fraction(0.0);
+        assert!(zero.ways.iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn qm_carries_and_updates_harvest_mask() {
+        let mut m = qm(VmKind::Primary);
+        assert_eq!(m.harvest_mask(), HarvestMask::fraction(0.5));
+        m.set_harvest_mask(HarvestMask::fraction(1.0 / 3.0));
+        assert_ne!(m.harvest_mask(), HarvestMask::fraction(0.5));
+    }
+
+    #[test]
+    fn lend_and_reclaim() {
+        let mut m = qm(VmKind::Primary);
+        m.bind_core(CoreId(3));
+        m.bind_core(CoreId(4));
+        assert!(!m.has_loaned_core());
+        m.lend_core(CoreId(3));
+        assert!(m.has_loaned_core());
+        assert_eq!(m.loaned_cores(), &[CoreId(3)]);
+        m.reclaim_core(CoreId(3));
+        assert!(!m.has_loaned_core());
+    }
+
+    #[test]
+    #[should_panic(expected = "not bound")]
+    fn lending_unbound_core_panics() {
+        qm(VmKind::Primary).lend_core(CoreId(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "already on loan")]
+    fn double_lend_panics() {
+        let mut m = qm(VmKind::Primary);
+        m.bind_core(CoreId(1));
+        m.lend_core(CoreId(1));
+        m.lend_core(CoreId(1));
+    }
+
+    #[test]
+    fn request_lifecycle_counters() {
+        let mut m = qm(VmKind::Primary);
+        m.enqueue(1, Cycles::ZERO);
+        m.enqueue(2, Cycles::ZERO);
+        assert_eq!(m.enqueued(), 2);
+        let (t, _, _) = m.dequeue().unwrap();
+        assert_eq!(m.inflight(), 1);
+        m.mark_blocked(t);
+        assert_eq!(m.inflight(), 0);
+        m.mark_ready(t);
+        let (t2, _, _) = m.dequeue().unwrap();
+        assert_eq!(t2, t, "blocked request resumes before newer one");
+        m.complete(t2);
+        assert_eq!(m.completed(), 1);
+        assert!(m.has_ready());
+    }
+
+    #[test]
+    fn bind_is_idempotent() {
+        let mut m = qm(VmKind::Harvest);
+        m.bind_core(CoreId(0));
+        m.bind_core(CoreId(0));
+        assert_eq!(m.bound_cores().len(), 1);
+        assert!(!m.kind().is_primary());
+    }
+}

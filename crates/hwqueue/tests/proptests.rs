@@ -1,0 +1,125 @@
+//! Property tests for the HardHarvest controller.
+
+use hh_hwqueue::{Controller, ControllerConfig, DequeueSource, EnqueueOutcome, Subqueue, VmKind};
+use hh_sim::{Cycles, VmId};
+use proptest::prelude::*;
+
+proptest! {
+    /// FIFO conservation: tokens dequeue in enqueue order regardless of how
+    /// they spill to and return from the overflow subqueue.
+    #[test]
+    fn fifo_order_survives_overflow(
+        chunks in 1usize..4,
+        n in 1usize..200,
+    ) {
+        let mut q = Subqueue::new(chunks, 8);
+        for t in 0..n as u64 {
+            q.enqueue(t, Cycles::new(t));
+        }
+        let mut got = Vec::new();
+        while let Some((t, _, _)) = q.dequeue_ready() {
+            got.push(t);
+            q.complete(t);
+        }
+        prop_assert_eq!(got, (0..n as u64).collect::<Vec<_>>());
+    }
+
+    /// Hardware occupancy accounting: entries resident in hardware never
+    /// exceed capacity as long as requests are dequeued and completed in
+    /// a well-formed way.
+    #[test]
+    fn hardware_occupancy_bounded(
+        ops in prop::collection::vec(0u8..3, 1..300),
+    ) {
+        let mut q = Subqueue::new(2, 4); // 8 slots
+        let mut next = 0u64;
+        let mut running: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                0 => {
+                    q.enqueue(next, Cycles::ZERO);
+                    next += 1;
+                }
+                1 => {
+                    if let Some((t, _, _)) = q.dequeue_ready() {
+                        running.push(t);
+                    }
+                }
+                _ => {
+                    if let Some(t) = running.pop() {
+                        q.complete(t);
+                    }
+                }
+            }
+            // Hardware occupancy may transiently exceed capacity only by
+            // the number of running requests promoted from overflow.
+            prop_assert!(
+                q.occupancy() <= q.capacity() + running.len(),
+                "occupancy {} capacity {} running {}",
+                q.occupancy(),
+                q.capacity(),
+                running.len()
+            );
+        }
+    }
+
+    /// Blocked requests always resume ahead of requests that arrived after
+    /// them (FIFO by arrival, Section 4.1.5).
+    #[test]
+    fn blocked_resume_keeps_arrival_order(block_first in any::<bool>()) {
+        let mut q = Subqueue::new(2, 4);
+        q.enqueue(1, Cycles::new(1));
+        q.enqueue(2, Cycles::new(2));
+        let (t, _, _) = q.dequeue_ready().unwrap();
+        prop_assert_eq!(t, 1);
+        q.mark_blocked(1);
+        if block_first {
+            // 2 runs and blocks as well.
+            let (t2, _, _) = q.dequeue_ready().unwrap();
+            q.mark_blocked(t2);
+            q.mark_ready(2);
+        }
+        q.mark_ready(1);
+        let (t, _, _) = q.dequeue_ready().unwrap();
+        prop_assert_eq!(t, 1, "older request must resume first");
+    }
+
+    /// Chunk rebalancing: after any sequence of VM arrivals, chunk shares
+    /// are proportional to core counts within one chunk, and accounting is
+    /// conserved.
+    #[test]
+    fn chunk_shares_track_core_shares(
+        cores in prop::collection::vec(1usize..12, 1..10),
+    ) {
+        let mut ctrl = Controller::new(ControllerConfig::table1());
+        for (i, &c) in cores.iter().enumerate() {
+            ctrl.register_vm(VmId(i as u16), VmKind::Primary, c);
+        }
+        prop_assert!(ctrl.chunk_accounting_ok());
+        let total_cores: usize = cores.iter().sum();
+        for (i, &c) in cores.iter().enumerate() {
+            let share = 32.0 * c as f64 / total_cores as f64;
+            let got = ctrl.qm(VmId(i as u16)).queue().chunks() as f64;
+            prop_assert!(
+                (got - share).abs() <= 2.0,
+                "vm{i}: got {got} chunks, fair share {share:.1}"
+            );
+        }
+    }
+
+    /// Enqueue outcome is Hardware exactly while hardware slots remain.
+    #[test]
+    fn overflow_starts_exactly_at_capacity(extra in 1usize..20) {
+        let mut q = Subqueue::new(1, 4);
+        for t in 0..4u64 {
+            prop_assert_eq!(q.enqueue(t, Cycles::ZERO), EnqueueOutcome::Hardware);
+        }
+        for t in 0..extra as u64 {
+            prop_assert_eq!(q.enqueue(100 + t, Cycles::ZERO), EnqueueOutcome::Overflow);
+        }
+        prop_assert_eq!(q.overflow_len(), extra);
+        // The first dequeue is served from hardware.
+        let (_, _, src) = q.dequeue_ready().unwrap();
+        prop_assert_eq!(src, DequeueSource::Hardware);
+    }
+}

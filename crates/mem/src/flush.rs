@@ -1,0 +1,108 @@
+//! Flush/invalidate latency models (paper Sections 3 and 4.2).
+//!
+//! Three mechanisms appear in the evaluation:
+//!
+//! * **software full flush** — `wbinvd` plus a fence: 300–500 µs on the
+//!   measured IceLake server (Section 3), paid on every cross-VM switch in
+//!   the software-harvesting baselines;
+//! * **hardware full flush** — the efficient whole-hierarchy
+//!   flush/invalidate hardware the paper borrows from prior work for the
+//!   `+Flush` ablation step;
+//! * **hardware harvest-region flush** — HardHarvest's partitioned flush:
+//!   1000 cycles (Table 1), off the critical path when transitioning from
+//!   Harvest back to Primary.
+
+use hh_sim::{Cycles, Rng64};
+use serde::{Deserialize, Serialize};
+
+/// Latency parameters for the three flush mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlushModel {
+    /// Lower bound of the software `wbinvd`+fence latency.
+    pub sw_min: Cycles,
+    /// Upper bound of the software `wbinvd`+fence latency.
+    pub sw_max: Cycles,
+    /// Hardware-accelerated full flush (the `+Flush` step).
+    pub hw_full: Cycles,
+    /// Hardware harvest-region flush (Table 1: 1000 cycles).
+    pub hw_region: Cycles,
+}
+
+impl FlushModel {
+    /// Paper defaults.
+    pub fn paper() -> Self {
+        FlushModel {
+            sw_min: Cycles::from_us(300.0),
+            sw_max: Cycles::from_us(500.0),
+            hw_full: Cycles::from_us(3.0),
+            hw_region: Cycles::new(1000),
+        }
+    }
+
+    /// Samples one software `wbinvd`+fence flush latency.
+    pub fn software(&self, rng: &mut Rng64) -> Cycles {
+        let lo = self.sw_min.as_u64();
+        let hi = self.sw_max.as_u64();
+        if hi <= lo {
+            return self.sw_min;
+        }
+        Cycles::new(rng.range(lo, hi + 1))
+    }
+
+    /// Hardware full-hierarchy flush latency.
+    pub fn hardware_full(&self) -> Cycles {
+        self.hw_full
+    }
+
+    /// Hardware harvest-region flush latency. This is also the fixed
+    /// side-channel-free delay before a Harvest VM may begin executing
+    /// after a Primary→Harvest transition (Section 4.2.1: execution is
+    /// deferred by the *longest possible* flush duration).
+    pub fn hardware_region(&self) -> Cycles {
+        self.hw_region
+    }
+}
+
+impl Default for FlushModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn software_flush_within_bounds() {
+        let m = FlushModel::paper();
+        let mut rng = Rng64::new(1);
+        for _ in 0..1000 {
+            let f = m.software(&mut rng);
+            assert!(f >= m.sw_min && f <= m.sw_max, "{f}");
+        }
+    }
+
+    #[test]
+    fn region_flush_is_1000_cycles() {
+        assert_eq!(FlushModel::paper().hardware_region(), Cycles::new(1000));
+    }
+
+    #[test]
+    fn hardware_flush_is_orders_faster_than_software() {
+        let m = FlushModel::paper();
+        assert!(m.hardware_full().as_us() * 50.0 < m.sw_min.as_us());
+        assert!(m.hardware_region() < m.hardware_full());
+    }
+
+    #[test]
+    fn degenerate_bounds_return_min() {
+        let m = FlushModel {
+            sw_min: Cycles::new(100),
+            sw_max: Cycles::new(100),
+            ..FlushModel::paper()
+        };
+        let mut rng = Rng64::new(2);
+        assert_eq!(m.software(&mut rng), Cycles::new(100));
+    }
+}

@@ -1,0 +1,72 @@
+//! Replacement-policy selection.
+
+use serde::{Deserialize, Serialize};
+
+/// Which replacement algorithm a [`crate::SetAssocCache`] runs.
+///
+/// The Figure 14 study compares all of these on L2 hit rate; the full-system
+/// configurations use [`PolicyKind::Lru`] for the `+Part` ablation step and
+/// [`PolicyKind::HardHarvest`] for the final design.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Vanilla least-recently-used.
+    #[default]
+    Lru,
+    /// Static re-reference interval prediction (SRRIP, 2-bit RRPV,
+    /// Jaleel et al. ISCA '10 — the paper's "RRIP advanced replacement").
+    Rrip,
+    /// The paper's Algorithm 1: steer shared entries toward non-harvest
+    /// ways and private entries toward harvest ways, choosing victims only
+    /// among the `candidate_frac` least-recently-used entries of the set
+    /// (the *eviction candidates*, Section 4.2.3), with LRU tie-breaking.
+    HardHarvest {
+        /// Fraction of the set's ways eligible as eviction candidates
+        /// (`M`); the paper's default is 0.75 (Table 1), swept in Figure 19.
+        candidate_frac: f64,
+    },
+}
+
+impl PolicyKind {
+    /// The paper's default HardHarvest policy (M = 75 % of ways).
+    pub fn hardharvest_default() -> Self {
+        PolicyKind::HardHarvest {
+            candidate_frac: 0.75,
+        }
+    }
+
+    /// Short label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "LRU",
+            PolicyKind::Rrip => "RRIP",
+            PolicyKind::HardHarvest { .. } => "HardHarvest",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(PolicyKind::Lru.label(), "LRU");
+        assert_eq!(PolicyKind::Rrip.label(), "RRIP");
+        assert_eq!(PolicyKind::hardharvest_default().label(), "HardHarvest");
+    }
+
+    #[test]
+    fn default_is_lru() {
+        assert_eq!(PolicyKind::default(), PolicyKind::Lru);
+    }
+
+    #[test]
+    fn default_candidate_fraction_is_75_percent() {
+        match PolicyKind::hardharvest_default() {
+            PolicyKind::HardHarvest { candidate_frac } => {
+                assert!((candidate_frac - 0.75).abs() < 1e-12)
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Per-server measurement collection.
+
+use hh_sim::stats::{Samples, TimeWeighted};
+use hh_sim::Cycles;
+use serde::Serialize;
+
+/// Per-service latency and breakdown accounting.
+#[derive(Debug, Default, Clone, Serialize)]
+pub struct ServiceMetrics {
+    /// End-to-end latency samples in milliseconds (NIC arrival →
+    /// completion).
+    pub latency_ms: Samples,
+    /// Total execution time (compute + memory stalls) across completed
+    /// requests, for the Figure 6 breakdown.
+    pub exec: Cycles,
+    /// Total blocked-on-I/O time across completed requests.
+    pub io: Cycles,
+    /// Total time requests waited on core-reassignment machinery.
+    pub reassign_wait: Cycles,
+    /// Total time requests waited on flush/invalidate machinery.
+    pub flush_wait: Cycles,
+    /// Completed requests.
+    pub completed: u64,
+}
+
+impl ServiceMetrics {
+    /// Mean per-request execution time in milliseconds.
+    pub fn mean_exec_ms(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.exec.as_ms() / self.completed as f64
+        }
+    }
+
+    /// Mean per-request reassignment wait in milliseconds.
+    pub fn mean_reassign_ms(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.reassign_wait.as_ms() / self.completed as f64
+        }
+    }
+
+    /// Mean per-request flush wait in milliseconds.
+    pub fn mean_flush_ms(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.flush_wait.as_ms() / self.completed as f64
+        }
+    }
+}
+
+/// Everything a server run reports.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServerMetrics {
+    /// System label the run used.
+    pub system: &'static str,
+    /// Per-service metrics, indexed by service id.
+    pub services: Vec<ServiceMetrics>,
+    /// Busy-core integral (level = cores executing request phases or batch
+    /// units).
+    pub busy_cores: TimeWeighted,
+    /// Simulated end time.
+    pub end_time: Cycles,
+    /// Batch work units completed by the Harvest VM.
+    pub batch_units: u64,
+    /// Cross-VM core reassignments performed.
+    pub reassignments: u64,
+    /// Reassignments triggered by reclamation (Primary demanded its core).
+    pub reclaims: u64,
+    /// Aggregated L2 hits across all cores.
+    pub l2_hits: u64,
+    /// Aggregated L2 misses across all cores.
+    pub l2_misses: u64,
+    /// Requests that overflowed the hardware subqueues.
+    pub queue_overflows: u64,
+}
+
+impl ServerMetrics {
+    /// Creates an empty collection for `services` services.
+    pub fn new(system: &'static str, services: usize) -> Self {
+        ServerMetrics {
+            system,
+            services: (0..services).map(|_| ServiceMetrics::default()).collect(),
+            busy_cores: TimeWeighted::new(),
+            end_time: Cycles::ZERO,
+            batch_units: 0,
+            reassignments: 0,
+            reclaims: 0,
+            l2_hits: 0,
+            l2_misses: 0,
+            queue_overflows: 0,
+        }
+    }
+
+    /// Average busy cores over the run (the Section 6.7 metric).
+    pub fn avg_busy_cores(&self) -> f64 {
+        self.busy_cores.average(self.end_time)
+    }
+
+    /// Batch throughput in work units per second.
+    pub fn batch_units_per_sec(&self) -> f64 {
+        let secs = self.end_time.as_secs();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.batch_units as f64 / secs
+        }
+    }
+
+    /// Aggregate L2 hit rate across the server's cores.
+    pub fn l2_hit_rate(&self) -> f64 {
+        let total = self.l2_hits + self.l2_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l2_hits as f64 / total as f64
+        }
+    }
+
+    /// All latency samples pooled across services (for the figure-level
+    /// "Average" bars).
+    pub fn pooled_latency_ms(&self) -> Samples {
+        let mut all = Samples::new();
+        for s in &self.services {
+            all.merge(&s.latency_ms);
+        }
+        all
+    }
+
+    /// Total completed requests.
+    pub fn completed(&self) -> u64 {
+        self.services.iter().map(|s| s.completed).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = ServerMetrics::new("X", 3);
+        assert_eq!(m.services.len(), 3);
+        assert_eq!(m.avg_busy_cores(), 0.0);
+        assert_eq!(m.batch_units_per_sec(), 0.0);
+        assert_eq!(m.l2_hit_rate(), 0.0);
+        assert_eq!(m.completed(), 0);
+    }
+
+    #[test]
+    fn pooled_latency_merges_services() {
+        let mut m = ServerMetrics::new("X", 2);
+        m.services[0].latency_ms.record(1.0);
+        m.services[1].latency_ms.record(3.0);
+        let mut pooled = m.pooled_latency_ms();
+        assert_eq!(pooled.len(), 2);
+        assert_eq!(pooled.percentile(1.0), 3.0);
+    }
+
+    #[test]
+    fn service_means_divide_by_completed() {
+        let mut s = ServiceMetrics {
+            exec: Cycles::from_ms(10.0),
+            reassign_wait: Cycles::from_ms(2.0),
+            flush_wait: Cycles::from_ms(1.0),
+            completed: 5,
+            ..ServiceMetrics::default()
+        };
+        s.latency_ms.record(1.0);
+        assert!((s.mean_exec_ms() - 2.0).abs() < 1e-9);
+        assert!((s.mean_reassign_ms() - 0.4).abs() < 1e-9);
+        assert!((s.mean_flush_ms() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_uses_end_time() {
+        let mut m = ServerMetrics::new("X", 1);
+        m.batch_units = 3000;
+        m.end_time = Cycles::from_secs(2.0);
+        assert!((m.batch_units_per_sec() - 1500.0).abs() < 1e-9);
+    }
+}

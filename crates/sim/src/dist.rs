@@ -1,0 +1,264 @@
+//! Probability distributions used by the workload models.
+//!
+//! Each distribution is a small parameter struct with a `sample(&mut Rng64)`
+//! method; the sampling state lives in the caller's [`Rng64`] so that
+//! distributions are freely shareable and `Copy`.
+
+use crate::Rng64;
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+///
+/// Used for open-loop Poisson inter-arrival times of microservice requests.
+///
+/// # Example
+///
+/// ```
+/// use hh_sim::{Exponential, Rng64};
+///
+/// let d = Exponential::with_mean(100.0);
+/// let mut rng = Rng64::new(1);
+/// let x = d.sample(&mut rng);
+/// assert!(x > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates a distribution with the given rate.
+    ///
+    /// # Panics
+    /// Panics if `lambda` is not strictly positive and finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda.is_finite(), "lambda must be > 0");
+        Exponential { lambda }
+    }
+
+    /// Creates a distribution with the given mean (`1/lambda`).
+    ///
+    /// # Panics
+    /// Panics if `mean` is not strictly positive and finite.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean > 0.0 && mean.is_finite(), "mean must be > 0");
+        Exponential { lambda: 1.0 / mean }
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut Rng64) -> f64 {
+        -rng.f64_open().ln() / self.lambda
+    }
+}
+
+/// Lognormal distribution parameterized by the *mean and sigma of the
+/// underlying normal*.
+///
+/// Used for backend (Memcached/Redis/MongoDB) response latencies, which the
+/// paper injects from profiles of real servers, and for service-time jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a lognormal with normal-space parameters `mu`, `sigma`.
+    ///
+    /// # Panics
+    /// Panics if `sigma` is negative or parameters are non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && mu.is_finite() && sigma.is_finite());
+        LogNormal { mu, sigma }
+    }
+
+    /// Creates a lognormal whose *median* is `median` with shape `sigma`.
+    ///
+    /// The median of a lognormal is `exp(mu)`, which is a far more intuitive
+    /// knob for latency modeling than `mu` itself.
+    ///
+    /// # Panics
+    /// Panics if `median <= 0` or `sigma < 0`.
+    pub fn with_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "median must be > 0");
+        Self::new(median.ln(), sigma)
+    }
+
+    /// The distribution mean, `exp(mu + sigma^2/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut Rng64) -> f64 {
+        (self.mu + self.sigma * rng.normal()).exp()
+    }
+}
+
+/// Bounded Pareto-like heavy-tail distribution.
+///
+/// Used for burst magnitudes in the synthetic Alibaba-style utilization
+/// traces: most bursts are small, a few are large, none are unbounded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+    cap: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto with minimum `scale`, tail index `shape`, truncated
+    /// at `cap`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < scale <= cap` and `shape > 0`.
+    pub fn new(scale: f64, shape: f64, cap: f64) -> Self {
+        assert!(scale > 0.0 && shape > 0.0 && cap >= scale);
+        Pareto { scale, shape, cap }
+    }
+
+    /// Draws one sample in `[scale, cap]`.
+    pub fn sample(&self, rng: &mut Rng64) -> f64 {
+        let x = self.scale / rng.f64_open().powf(1.0 / self.shape);
+        x.min(self.cap)
+    }
+}
+
+/// Zipf distribution over ranks `0..n` with exponent `s`.
+///
+/// Used for page-reuse popularity inside an invocation's address stream:
+/// a few hot lines absorb most accesses, matching the small-working-set
+/// behaviour the paper measures for microservices (Section 3).
+///
+/// Sampling uses a precomputed inverse CDF (O(log n) per draw).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0, "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution has exactly one rank.
+    pub fn is_empty(&self) -> bool {
+        false // constructor forbids n == 0; kept for API symmetry
+    }
+
+    /// Draws one rank in `[0, n)`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut Rng64) -> usize {
+        let u = rng.f64();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Exponential::with_mean(50.0);
+        let mut rng = Rng64::new(5);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 50.0).abs() < 1.0, "mean {mean}");
+        assert!((d.mean() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let d = Exponential::new(2.0);
+        let mut rng = Rng64::new(6);
+        assert!((0..10_000).all(|_| d.sample(&mut rng) > 0.0));
+    }
+
+    #[test]
+    fn lognormal_median_matches() {
+        let d = LogNormal::with_median(200.0, 0.5);
+        let mut rng = Rng64::new(7);
+        let mut xs: Vec<f64> = (0..50_001).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[25_000];
+        assert!(
+            (median - 200.0).abs() / 200.0 < 0.05,
+            "median {median} should be near 200"
+        );
+    }
+
+    #[test]
+    fn pareto_respects_bounds() {
+        let d = Pareto::new(1.0, 1.5, 10.0);
+        let mut rng = Rng64::new(8);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..=10.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let d = Zipf::new(100, 1.0);
+        let mut rng = Rng64::new(9);
+        let mut counts = [0u32; 100];
+        for _ in 0..100_000 {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let d = Zipf::new(10, 0.0);
+        let mut rng = Rng64::new(10);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.15, "uniform spread expected: {counts:?}");
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let d = Zipf::new(1, 1.2);
+        let mut rng = Rng64::new(11);
+        assert_eq!(d.sample(&mut rng), 0);
+        assert_eq!(d.len(), 1);
+    }
+}

@@ -1,0 +1,466 @@
+//! Measurement primitives: percentile sets, histograms, time-weighted
+//! utilization accumulators and scalar summaries.
+//!
+//! The paper reports P99 tail latency, median latency, throughput and
+//! core-utilization averages; these types compute all of them.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Cycles;
+
+/// An exact percentile estimator over a stored sample set.
+///
+/// The evaluation sizes in this reproduction (≤ a few hundred thousand
+/// samples per series) make exact storage cheaper and simpler than sketches.
+///
+/// # Example
+///
+/// ```
+/// use hh_sim::stats::Samples;
+///
+/// let mut s = Samples::new();
+/// for v in 1..=100 {
+///     s.record(v as f64);
+/// }
+/// assert_eq!(s.percentile(0.50), 50.0);
+/// assert_eq!(s.percentile(0.99), 99.0);
+/// assert_eq!(s.len(), 100);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Samples::default()
+    }
+
+    /// Creates an empty sample set with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Samples {
+            values: Vec::with_capacity(capacity),
+            sorted: true,
+        }
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    /// Panics if `value` is NaN; NaN observations indicate a simulator bug.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "NaN sample recorded");
+        self.values.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Largest observation, or 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) using nearest-rank interpolation.
+    /// Returns 0.0 when empty.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+            self.sorted = true;
+        }
+        let n = self.values.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.values[rank - 1]
+    }
+
+    /// Median (P50).
+    pub fn median(&mut self) -> f64 {
+        self.percentile(0.5)
+    }
+
+    /// P99 tail.
+    pub fn p99(&mut self) -> f64 {
+        self.percentile(0.99)
+    }
+
+    /// Merges another sample set into this one.
+    pub fn merge(&mut self, other: &Samples) {
+        self.values.extend_from_slice(&other.values);
+        self.sorted = false;
+    }
+
+    /// Read-only view of the raw observations (unspecified order).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl FromIterator<f64> for Samples {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Samples::new();
+        for v in iter {
+            s.record(v);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Samples {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+/// A logarithmically-binned histogram for latency distributions.
+///
+/// Bins grow geometrically, giving ~2 % relative resolution across nine
+/// decades, enough for CDF plots like the paper's Figure 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// bin i covers [min * growth^i, min * growth^(i+1))
+    min: f64,
+    growth: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[min, max)` with roughly `bins` bins.
+    ///
+    /// # Panics
+    /// Panics unless `0 < min < max` and `bins >= 1`.
+    pub fn new(min: f64, max: f64, bins: usize) -> Self {
+        assert!(min > 0.0 && max > min && bins >= 1);
+        let growth = (max / min).powf(1.0 / bins as f64);
+        Histogram {
+            min,
+            growth,
+            counts: vec![0; bins + 1],
+            underflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one observation (clamped into the covered range).
+    pub fn record(&mut self, value: f64) {
+        self.total += 1;
+        if value < self.min {
+            self.underflow += 1;
+            return;
+        }
+        let bin = ((value / self.min).ln() / self.growth.ln()) as usize;
+        let bin = bin.min(self.counts.len() - 1);
+        self.counts[bin] += 1;
+    }
+
+    /// Number of observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of observations at or below `value`.
+    pub fn cdf_at(&self, value: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut acc = self.underflow;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let hi = self.min * self.growth.powi(i as i32 + 1);
+            if hi <= value {
+                acc += c;
+            } else {
+                break;
+            }
+        }
+        acc as f64 / self.total as f64
+    }
+
+    /// Approximate `q`-quantile from the binned data.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = (q * self.total as f64).ceil() as u64;
+        let mut acc = self.underflow;
+        if acc >= target {
+            return self.min;
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return self.min * self.growth.powi(i as i32 + 1);
+            }
+        }
+        self.min * self.growth.powi(self.counts.len() as i32)
+    }
+}
+
+/// Time-weighted accumulator for quantities like "busy cores".
+///
+/// Feed it level changes over simulated time; it integrates the level and
+/// reports the time average — exactly the "average utilization of N cores"
+/// metric in Section 6.7 of the paper.
+///
+/// # Example
+///
+/// ```
+/// use hh_sim::{stats::TimeWeighted, Cycles};
+///
+/// let mut u = TimeWeighted::new();
+/// u.set(Cycles::new(0), 4.0);
+/// u.set(Cycles::new(100), 0.0);
+/// assert_eq!(u.average(Cycles::new(200)), 2.0);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    level: f64,
+    last_change: Cycles,
+    integral: f64,
+}
+
+impl TimeWeighted {
+    /// Creates an accumulator at level 0 and time 0.
+    pub fn new() -> Self {
+        TimeWeighted::default()
+    }
+
+    /// Sets the level at time `now`, integrating the previous level.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `now` precedes the previous change.
+    pub fn set(&mut self, now: Cycles, level: f64) {
+        debug_assert!(now >= self.last_change, "time went backwards");
+        let dt = now.saturating_sub(self.last_change).as_u64() as f64;
+        self.integral += self.level * dt;
+        self.level = level;
+        self.last_change = now;
+    }
+
+    /// Adds `delta` to the current level at time `now`.
+    pub fn add(&mut self, now: Cycles, delta: f64) {
+        let level = self.level + delta;
+        self.set(now, level);
+    }
+
+    /// Current level.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Time-average of the level over `[0, now]`; 0.0 if `now` is zero.
+    pub fn average(&self, now: Cycles) -> f64 {
+        let dt = now.saturating_sub(self.last_change).as_u64() as f64;
+        let total = self.integral + self.level * dt;
+        let span = now.as_u64() as f64;
+        if span == 0.0 {
+            0.0
+        } else {
+            total / span
+        }
+    }
+}
+
+/// Scalar min/mean/max summary of a quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Smallest observation (`f64::INFINITY` when empty).
+    pub min: f64,
+    /// Largest observation (`f64::NEG_INFINITY` when empty).
+    pub max: f64,
+    /// Running sum.
+    pub sum: f64,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Summary {
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += value;
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min={:.3} mean={:.3} max={:.3}",
+            self.count,
+            if self.count == 0 { 0.0 } else { self.min },
+            self.mean(),
+            if self.count == 0 { 0.0 } else { self.max },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_exact_on_known_data() {
+        let mut s: Samples = (1..=1000).map(f64::from).collect();
+        assert_eq!(s.percentile(0.01), 10.0);
+        assert_eq!(s.median(), 500.0);
+        assert_eq!(s.p99(), 990.0);
+        assert_eq!(s.percentile(1.0), 1000.0);
+        assert_eq!(s.max(), 1000.0);
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_samples_are_zero() {
+        let mut s = Samples::new();
+        assert_eq!(s.p99(), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a: Samples = [1.0, 2.0].into_iter().collect();
+        let b: Samples = [3.0, 4.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.percentile(1.0), 4.0);
+    }
+
+    #[test]
+    fn record_after_percentile_stays_correct() {
+        let mut s: Samples = [5.0, 1.0, 3.0].into_iter().collect();
+        assert_eq!(s.median(), 3.0);
+        s.record(0.5);
+        s.record(0.6);
+        assert_eq!(s.percentile(0.2), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_sample_panics() {
+        Samples::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_close() {
+        let mut h = Histogram::new(1.0, 1e6, 200);
+        for v in 1..=10_000 {
+            h.record(v as f64);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((p50 / 5000.0 - 1.0).abs() < 0.10, "p50 {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((p99 / 9900.0 - 1.0).abs() < 0.10, "p99 {p99}");
+        assert_eq!(h.total(), 10_000);
+    }
+
+    #[test]
+    fn histogram_cdf_is_monotone() {
+        let mut h = Histogram::new(0.01, 1.0, 100);
+        for i in 0..1000 {
+            h.record(i as f64 / 1000.0);
+        }
+        let mut prev = 0.0;
+        for p in [0.02, 0.1, 0.3, 0.5, 0.9, 1.0] {
+            let c = h.cdf_at(p);
+            assert!(c >= prev, "cdf must be monotone");
+            prev = c;
+        }
+        assert!((h.cdf_at(0.5) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn histogram_underflow_counted() {
+        let mut h = Histogram::new(10.0, 100.0, 10);
+        h.record(1.0);
+        h.record(50.0);
+        assert_eq!(h.total(), 2);
+        assert!(h.cdf_at(10.0) >= 0.5);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut u = TimeWeighted::new();
+        u.set(Cycles::new(0), 1.0);
+        u.add(Cycles::new(50), 1.0); // level 2 from t=50
+        assert_eq!(u.level(), 2.0);
+        // [0,50): 1.0, [50,100): 2.0 → avg 1.5
+        assert!((u.average(Cycles::new(100)) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_zero_span() {
+        let u = TimeWeighted::new();
+        assert_eq!(u.average(Cycles::ZERO), 0.0);
+    }
+
+    #[test]
+    fn summary_tracks_extremes() {
+        let mut s = Summary::new();
+        for v in [3.0, -1.0, 7.0] {
+            s.record(v);
+        }
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 7.0);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert!(!s.to_string().is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! The optimization-ablation scenarios: the Figure 12 cumulative ladder
+//! (hardware optimizations applied one by one on top of software
+//! harvesting), the Figure 13 Sched/CtxtSw ablation, and the Figure 15
+//! ladder without harvesting.
+//!
+//! ```text
+//! cargo run --release --example ablation_study
+//! ```
+
+use hh_core::{run_cluster, Scale, SystemSpec, Table};
+
+fn ladder(title: &str, systems: Vec<SystemSpec>, scale: Scale, baseline_idx: usize) {
+    let mut t = Table::new(vec![
+        title.to_string(),
+        "P99 [ms]".into(),
+        "vs baseline".into(),
+    ]);
+    let mut baseline = None;
+    for (i, s) in systems.into_iter().enumerate() {
+        let m = run_cluster(s, scale, 11);
+        let p99 = m.pooled_latency_ms().p99();
+        if i == baseline_idx {
+            baseline = Some(p99);
+        }
+        let delta = baseline
+            .map(|b| format!("{:+.1}%", (p99 / b - 1.0) * 100.0))
+            .unwrap_or_else(|| "-".into());
+        t.row(vec![s.name.into(), format!("{p99:.3}"), delta]);
+    }
+    println!("{}", t.render());
+}
+
+fn main() {
+    let scale = Scale::quick();
+    println!("Figure 12: cumulative hardware optimizations on Harvest-Block\n");
+    ladder("Fig 12 step", SystemSpec::fig12_ladder(), scale, 1);
+
+    println!("Figure 13: Sched vs CtxtSw ablation\n");
+    ladder("Fig 13 variant", SystemSpec::fig13_ablation(), scale, 0);
+
+    println!("Figure 15: optimizations without core harvesting\n");
+    ladder("Fig 15 step", SystemSpec::fig15_ladder(), scale, 0);
+}

@@ -1,0 +1,24 @@
+//! Extension scenario: *adaptive* harvesting (paper Section 4.1.5 future
+//! work). The system monitors how long each VM's requests stay blocked on
+//! I/O; when blocks are too short to amortize a core round-trip, it stops
+//! stealing on blocking calls and falls back to stealing on termination
+//! only.
+//!
+//! ```text
+//! cargo run --release --example adaptive_harvesting
+//! ```
+
+use hh_core::{Experiments, Scale};
+
+fn main() {
+    let ex = Experiments {
+        scale: Scale::quick(),
+        seed: 0xADA,
+    };
+    println!("Comparing HardHarvest-Term / -Adaptive / -Block…\n");
+    println!("{}", ex.adaptive().render());
+    println!(
+        "Adaptive should sit between Term and Block: most of Block's\n\
+         harvest throughput, with fewer poorly-amortized reassignments."
+    );
+}

@@ -1,0 +1,45 @@
+//! The Figure 14 replacement-policy study: L2 hit rate of vanilla LRU,
+//! SRRIP, HardHarvest's Algorithm 1, and offline-optimal Belady on the
+//! same recorded trace of microservice invocations interleaved with
+//! harvest episodes.
+//!
+//! ```text
+//! cargo run --release --example replacement_policy_lab
+//! ```
+
+use hh_core::{ReplacementLab, Table};
+
+fn main() {
+    let lab = ReplacementLab::default();
+    println!(
+        "Recording {} invocations per service, then replaying through 4 policies…",
+        lab.invocations
+    );
+    let rows = lab.run();
+
+    let mut t = Table::new(vec![
+        "Service".into(),
+        "LRU".into(),
+        "RRIP".into(),
+        "HardHarvest".into(),
+        "Belady".into(),
+    ]);
+    for r in &rows {
+        t.row_f64(r.service, &[r.lru, r.rrip, r.hardharvest, r.belady]);
+    }
+    let n = rows.len() as f64;
+    let avg = |f: fn(&hh_core::PolicyHitRates) -> f64| rows.iter().map(f).sum::<f64>() / n;
+    let (lru, rrip, hh, belady) = (
+        avg(|r| r.lru),
+        avg(|r| r.rrip),
+        avg(|r| r.hardharvest),
+        avg(|r| r.belady),
+    );
+    t.row_f64("Avg", &[lru, rrip, hh, belady]);
+    println!("{}", t.render());
+
+    println!("HardHarvest vs LRU   : {:+.1} %", (hh / lru - 1.0) * 100.0);
+    println!("HardHarvest vs RRIP  : {:+.1} %", (hh / rrip - 1.0) * 100.0);
+    println!("Gap to Belady        : {:.1} %", (1.0 - hh / belady) * 100.0);
+    println!("(paper: +11.3 % over LRU, +8.2 % over RRIP, within 3.1 % of Belady)");
+}

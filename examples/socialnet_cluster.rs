@@ -1,0 +1,59 @@
+//! The paper's headline experiment as a runnable scenario: 8 SocialNet
+//! microservices in Primary VMs + one batch job per server's Harvest VM,
+//! compared across all five evaluated systems (Figures 11, 16, 17 and the
+//! Section 6.7 utilization numbers).
+//!
+//! ```text
+//! cargo run --release --example socialnet_cluster
+//! ```
+
+use hh_core::{run_cluster, Scale, SystemSpec, Table};
+use hh_workload::ServiceCatalog;
+
+fn main() {
+    let scale = Scale::quick();
+    let systems = SystemSpec::evaluated_five();
+    let services: Vec<&str> = ServiceCatalog::socialnet().iter().map(|(_, p)| p.name).collect();
+
+    let mut p99 = Table::new(
+        std::iter::once("P99 [ms]".to_string())
+            .chain(services.iter().map(|s| s.to_string()))
+            .chain(["Avg".to_string()])
+            .collect(),
+    );
+    let mut summary = Table::new(vec![
+        "System".into(),
+        "median ms".into(),
+        "p99 ms".into(),
+        "busy cores".into(),
+        "norm. batch thpt".into(),
+    ]);
+
+    let base = run_cluster(systems[0], scale, 7);
+    let base_thpt: f64 = (0..scale.servers).map(|i| base.batch_throughput(i)).sum();
+
+    for system in systems {
+        let m = run_cluster(system, scale, 7);
+        let mut vals: Vec<f64> = (0..services.len()).map(|s| m.service_p99_ms(s)).collect();
+        let mut pooled = m.pooled_latency_ms();
+        vals.push(pooled.p99());
+        p99.row_f64(system.name, &vals);
+
+        let thpt: f64 = (0..scale.servers).map(|i| m.batch_throughput(i)).sum();
+        summary.row_f64(
+            system.name,
+            &[
+                pooled.median(),
+                pooled.p99(),
+                m.avg_busy_cores(),
+                thpt / base_thpt.max(1e-9),
+            ],
+        );
+    }
+
+    println!("Per-service P99 tail latency (Figure 11 shape):\n{}", p99.render());
+    println!(
+        "System summary (Figures 16/17 + Section 6.7 shape):\n{}",
+        summary.render()
+    );
+}

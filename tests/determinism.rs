@@ -1,0 +1,51 @@
+//! Reproducibility: the entire stack is deterministic given a seed.
+
+use hh_core::{run_cluster, Scale, SystemSpec};
+
+fn tiny() -> Scale {
+    Scale {
+        servers: 2,
+        requests_per_vm: 80,
+        rps_per_vm: 800.0,
+    }
+}
+
+#[test]
+fn identical_seeds_produce_identical_metrics() {
+    let a = run_cluster(SystemSpec::hardharvest_block(), tiny(), 123);
+    let b = run_cluster(SystemSpec::hardharvest_block(), tiny(), 123);
+    assert_eq!(a.pooled_latency_ms().values(), b.pooled_latency_ms().values());
+    assert_eq!(a.avg_busy_cores(), b.avg_busy_cores());
+    for (sa, sb) in a.servers.iter().zip(&b.servers) {
+        assert_eq!(sa.batch_units, sb.batch_units);
+        assert_eq!(sa.reassignments, sb.reassignments);
+        assert_eq!(sa.reclaims, sb.reclaims);
+        assert_eq!(sa.l2_hits, sb.l2_hits);
+        assert_eq!(sa.l2_misses, sb.l2_misses);
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_cluster(SystemSpec::no_harvest(), tiny(), 1);
+    let b = run_cluster(SystemSpec::no_harvest(), tiny(), 2);
+    assert_ne!(
+        a.pooled_latency_ms().values(),
+        b.pooled_latency_ms().values(),
+        "different seeds should perturb the run"
+    );
+}
+
+#[test]
+fn parallel_servers_do_not_race() {
+    // Thread scheduling must not leak into results: server i's metrics
+    // depend only on its own config/seed.
+    let a = run_cluster(SystemSpec::harvest_block(), tiny(), 77);
+    let b = run_cluster(SystemSpec::harvest_block(), tiny(), 77);
+    for (sa, sb) in a.servers.iter().zip(&b.servers) {
+        assert_eq!(
+            sa.pooled_latency_ms().values(),
+            sb.pooled_latency_ms().values()
+        );
+    }
+}

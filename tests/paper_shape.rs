@@ -1,0 +1,118 @@
+//! Cross-crate integration tests asserting the *qualitative shape* of the
+//! paper's results: who wins, in which direction, across the five systems.
+//!
+//! Absolute numbers are checked loosely (this is a reduced-scale run of a
+//! cycle-approximate model); orderings are checked strictly.
+
+use hh_core::{run_cluster, ClusterMetrics, Scale, SystemSpec};
+
+fn tiny() -> Scale {
+    Scale {
+        servers: 2,
+        requests_per_vm: 120,
+        rps_per_vm: 800.0,
+    }
+}
+
+fn run(system: SystemSpec) -> ClusterMetrics {
+    run_cluster(system, tiny(), 0xBEEF)
+}
+
+#[test]
+fn tail_latency_ordering_matches_figure_11() {
+    let no = run(SystemSpec::no_harvest());
+    let sw = run(SystemSpec::harvest_block());
+    let hh = run(SystemSpec::hardharvest_block());
+
+    let no_p99 = no.pooled_latency_ms().p99();
+    let sw_p99 = sw.pooled_latency_ms().p99();
+    let hh_p99 = hh.pooled_latency_ms().p99();
+
+    // Software harvesting inflates the tail (paper: 4.1x over NoHarvest;
+    // our agent model reproduces the direction at a smaller factor);
+    // HardHarvest beats software harvesting soundly and undercuts
+    // NoHarvest (paper: -28.4%).
+    assert!(
+        sw_p99 > 1.2 * no_p99,
+        "software harvesting should inflate the tail: {sw_p99:.2} vs {no_p99:.2}"
+    );
+    assert!(
+        hh_p99 < 0.75 * sw_p99,
+        "HardHarvest should slash the software tail: {hh_p99:.2} vs {sw_p99:.2}"
+    );
+    assert!(
+        hh_p99 < 1.05 * no_p99,
+        "HardHarvest should not exceed NoHarvest: {hh_p99:.2} vs {no_p99:.2}"
+    );
+}
+
+#[test]
+fn throughput_ordering_matches_figure_17() {
+    let no = run(SystemSpec::no_harvest());
+    let sw = run(SystemSpec::harvest_term());
+    let hh = run(SystemSpec::hardharvest_block());
+
+    let total = |m: &ClusterMetrics| -> f64 { (0..2).map(|i| m.batch_throughput(i)).sum() };
+    let (t_no, t_sw, t_hh) = (total(&no), total(&sw), total(&hh));
+    assert!(
+        t_sw > t_no,
+        "software harvesting should add batch throughput: {t_sw:.0} vs {t_no:.0}"
+    );
+    assert!(
+        t_hh > t_sw,
+        "HardHarvest-Block should beat Harvest-Term: {t_hh:.0} vs {t_sw:.0}"
+    );
+}
+
+#[test]
+fn utilization_ordering_matches_section_6_7() {
+    let no = run(SystemSpec::no_harvest());
+    let sw = run(SystemSpec::harvest_term());
+    let hh = run(SystemSpec::hardharvest_block());
+    assert!(sw.avg_busy_cores() > no.avg_busy_cores());
+    assert!(hh.avg_busy_cores() > sw.avg_busy_cores());
+}
+
+#[test]
+fn median_latency_is_less_sensitive_than_tail() {
+    // Figure 16: software harvesting barely moves the median (paper:
+    // +7.9%) while the tail explodes (paper: 3.4x).
+    let no = run(SystemSpec::no_harvest());
+    let sw = run(SystemSpec::harvest_term());
+    let median_ratio = sw.pooled_latency_ms().median() / no.pooled_latency_ms().median();
+    let tail_ratio = sw.pooled_latency_ms().p99() / no.pooled_latency_ms().p99();
+    assert!(
+        tail_ratio > median_ratio,
+        "tail ratio {tail_ratio:.2} should exceed median ratio {median_ratio:.2}"
+    );
+}
+
+#[test]
+fn term_vs_block_tradeoff() {
+    // -Block harvests more aggressively: more reassignments and at least
+    // as much batch throughput as -Term under the same hardware.
+    let term = run(SystemSpec::hardharvest_term());
+    let block = run(SystemSpec::hardharvest_block());
+    let t_term: f64 = (0..2).map(|i| term.batch_throughput(i)).sum();
+    let t_block: f64 = (0..2).map(|i| block.batch_throughput(i)).sum();
+    assert!(
+        t_block >= 0.95 * t_term,
+        "block {t_block:.0} should not trail term {t_term:.0}"
+    );
+    let re_term: u64 = term.servers.iter().map(|s| s.reassignments).sum();
+    let re_block: u64 = block.servers.iter().map(|s| s.reassignments).sum();
+    assert!(re_block >= re_term);
+}
+
+#[test]
+fn all_requests_complete_in_every_system() {
+    for system in SystemSpec::evaluated_five() {
+        let m = run(system);
+        assert_eq!(
+            m.completed(),
+            (2 * 8 * 120) as u64,
+            "system {} dropped requests",
+            system.name
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Simulation validation: at light load and with no harvesting, the
+//! simulator must agree with first-principles expectations — the moral
+//! equivalent of the paper's calibration of SST against the real server
+//! (Section 3).
+
+use hh_server::{ServerConfig, ServerSim, SystemSpec};
+use hh_workload::ServiceCatalog;
+
+/// At light load, mean end-to-end latency per service must approach the
+/// analytic floor: compute time + I/O time (+ small stall/queueing slack).
+#[test]
+fn light_load_latency_matches_analytic_floor() {
+    let mut cfg = ServerConfig::table1(SystemSpec::no_harvest());
+    cfg.requests_per_vm = 150;
+    cfg.rps_per_vm = 60.0; // essentially no queueing
+    cfg.seed = 0xA11C;
+    let m = ServerSim::new(cfg).run();
+
+    let catalog = ServiceCatalog::socialnet();
+    for (id, profile) in catalog.iter() {
+        let sm = &m.services[id.index()];
+        if sm.completed == 0 {
+            continue;
+        }
+        let mean_ms = {
+            let mut lat = sm.latency_ms.clone();
+            // mean over samples
+            let n = lat.len() as f64;
+            lat.values().iter().sum::<f64>() / n
+        };
+        // Analytic floor: compute + io (medians; jitter means the sample
+        // mean sits somewhat above).
+        let io_ms = profile.io_calls as f64 * (1.0 + profile.backend_us) / 1000.0;
+        let floor_ms = profile.compute_us / 1000.0 + io_ms;
+        assert!(
+            mean_ms > floor_ms * 0.9,
+            "{}: mean {mean_ms:.3} below physical floor {floor_ms:.3}",
+            profile.name
+        );
+        assert!(
+            mean_ms < floor_ms * 2.0,
+            "{}: mean {mean_ms:.3} far above light-load floor {floor_ms:.3} — \
+             spurious queueing or stalls",
+            profile.name
+        );
+    }
+}
+
+/// Offered load conservation: completions per second must match the
+/// offered rate when the system is stable.
+#[test]
+fn throughput_matches_offered_load() {
+    let mut cfg = ServerConfig::table1(SystemSpec::hardharvest_block());
+    cfg.requests_per_vm = 400;
+    cfg.rps_per_vm = 800.0;
+    cfg.seed = 0x10AD;
+    let m = ServerSim::new(cfg).run();
+    let secs = m.end_time.as_secs();
+    let rate = m.completed() as f64 / secs;
+    let offered = 800.0 * 8.0;
+    // The run window  includes warm-up and final drain, which depress the
+    // apparent rate on a short run; the point is that no work is lost and
+    // the system keeps up with the offered load to first order.
+    assert!(
+        rate > offered * 0.7 && rate < offered * 1.1,
+        "completion rate {rate:.0}/s vs offered {offered:.0}/s"
+    );
+}
+
+/// Utilization accounting: busy cores must never exceed the machine and
+/// must at least cover the Harvest VM's dedicated cores.
+#[test]
+fn utilization_is_physical()
+{
+    for sys in [SystemSpec::no_harvest(), SystemSpec::hardharvest_block()] {
+        let mut cfg = ServerConfig::table1(sys);
+        cfg.requests_per_vm = 150;
+        cfg.seed = 0xCAFE;
+        let m = ServerSim::new(cfg).run();
+        let busy = m.avg_busy_cores();
+        assert!(busy <= 36.0 + 1e-9, "{}: {busy}", sys.name);
+        assert!(busy >= 3.0, "{}: harvest base cores must work: {busy}", sys.name);
+    }
+}
