@@ -26,7 +26,7 @@ pub fn scale_from_env() -> Experiments {
                 requests_per_vm: 60,
                 rps_per_vm: 800.0,
             },
-            seed: 0x15CA,
+            ..Experiments::quick()
         },
         _ => Experiments::quick(),
     }

@@ -4,11 +4,15 @@
 //! only talk to services on the same server, and backends live on dedicated
 //! machines whose latency is injected — so the 8 servers simulate in
 //! parallel on real threads, exactly like the paper parallelizes its SST
-//! instances (Section 5).
+//! instances (Section 5). Scheduling and result reuse live in
+//! [`crate::RunPlan`]; the free functions here run on the process-wide
+//! executor.
 
-use hh_server::{ServerConfig, ServerMetrics, ServerSim, SystemSpec};
+use hh_server::{ServerConfig, ServerMetrics, SystemSpec};
 use hh_sim::stats::Samples;
 use serde::Serialize;
+
+use crate::RunPlan;
 
 /// How large an experiment run is.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
@@ -74,9 +78,37 @@ impl ClusterMetrics {
     pub fn pooled_latency_ms(&self) -> Samples {
         let mut s = Samples::new();
         for srv in &self.servers {
-            s.merge(&srv.pooled_latency_ms());
+            for svc in &srv.services {
+                s.merge(&svc.latency_ms);
+            }
         }
         s
+    }
+
+    /// Per-service and pooled latency percentiles in one pass.
+    ///
+    /// A latency-figure row needs the `q`-quantile of every service plus
+    /// the pooled quantile; computing them through
+    /// [`ClusterMetrics::service_latency_ms`] would clone-and-merge the
+    /// same per-server sample sets nine times per row. This copies each
+    /// sample exactly twice (once into its service's pool, once into the
+    /// cluster pool) and answers every quantile by selection.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn latency_percentiles(&self, q: f64) -> (Vec<f64>, f64) {
+        let services = self.servers.first().map_or(0, |srv| srv.services.len());
+        let mut pooled = Samples::new();
+        let mut per_service = Vec::with_capacity(services);
+        for svc in 0..services {
+            let mut s = Samples::new();
+            for srv in &self.servers {
+                s.merge(&srv.services[svc].latency_ms);
+            }
+            per_service.push(s.percentile(q));
+            pooled.merge(&s);
+        }
+        (per_service, pooled.percentile(q))
     }
 
     /// P99 of one service, milliseconds.
@@ -112,43 +144,16 @@ impl ClusterMetrics {
     }
 }
 
-/// Builds the per-server configuration for one cluster run. The `tweak`
-/// hook lets experiments adjust knobs (LLC size, capacity fraction, …).
+/// Runs one cluster on the process-wide [`RunPlan`]. The `tweak` hook lets
+/// experiments adjust knobs (LLC size, capacity fraction, …); identical
+/// requests are served from the executor's memo table.
 pub fn run_cluster_with(
     system: SystemSpec,
     scale: Scale,
     seed: u64,
     tweak: impl Fn(&mut ServerConfig) + Sync,
 ) -> ClusterMetrics {
-    let configs: Vec<ServerConfig> = (0..scale.servers)
-        .map(|i| {
-            let mut cfg = ServerConfig::table1(system);
-            cfg.requests_per_vm = scale.requests_per_vm;
-            cfg.rps_per_vm = scale.rps_per_vm;
-            cfg.batch_job = i % 8;
-            cfg.seed = seed ^ ((i as u64 + 1) << 32);
-            tweak(&mut cfg);
-            cfg
-        })
-        .collect();
-
-    // Servers never communicate (Section 5), so each runs on its own
-    // thread, exactly like the paper farms SST instances out to machines.
-    let servers = std::thread::scope(|scope| {
-        let handles: Vec<_> = configs
-            .into_iter()
-            .map(|cfg| scope.spawn(move || ServerSim::new(cfg).run()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("server simulation panicked"))
-            .collect()
-    });
-
-    ClusterMetrics {
-        system: system.name,
-        servers,
-    }
+    RunPlan::global().run_cluster_with(system, scale, seed, tweak)
 }
 
 /// Runs a cluster with stock Table 1 knobs.
@@ -186,8 +191,10 @@ mod tests {
 
     #[test]
     fn cluster_is_deterministic() {
-        let a = run_cluster(SystemSpec::hardharvest_block(), tiny(), 3);
-        let b = run_cluster(SystemSpec::hardharvest_block(), tiny(), 3);
+        // Isolated executors so both runs genuinely simulate (the global
+        // plan would serve the second from its memo table).
+        let a = RunPlan::with_workers(1).run_cluster(SystemSpec::hardharvest_block(), tiny(), 3);
+        let b = RunPlan::with_workers(2).run_cluster(SystemSpec::hardharvest_block(), tiny(), 3);
         assert_eq!(
             a.pooled_latency_ms().values().len(),
             b.pooled_latency_ms().values().len()

@@ -10,7 +10,7 @@ use hh_workload::trace::TraceSet;
 use hh_workload::ServiceCatalog;
 use serde::Serialize;
 
-use crate::{run_cluster, run_cluster_with, ClusterMetrics, PolicyHitRates, ReplacementLab, Scale, Table};
+use crate::{ClusterMetrics, PolicyHitRates, ReplacementLab, RunPlan, Scale, Table};
 
 /// Service names in figure order.
 fn service_names() -> Vec<&'static str> {
@@ -53,12 +53,15 @@ impl LatencyFigure {
         let services = service_names();
         let rows = runs
             .into_iter()
-            .map(|(label, m)| LatencyRow {
-                label,
-                per_service_ms: (0..services.len())
-                    .map(|s| m.service_latency_ms(s).percentile(q))
-                    .collect(),
-                average_ms: m.pooled_latency_ms().percentile(q),
+            .map(|(label, m)| {
+                // One pass over the per-server sample sets yields every
+                // column of the row (see ClusterMetrics::latency_percentiles).
+                let (per_service_ms, average_ms) = m.latency_percentiles(q);
+                LatencyRow {
+                    label,
+                    per_service_ms,
+                    average_ms,
+                }
             })
             .collect();
         LatencyFigure {
@@ -225,6 +228,28 @@ impl ThroughputFigure {
     }
 }
 
+/// Runs one closure per figure row on its own thread, so every row's
+/// per-server jobs reach the executor's worker pool together. Rows come
+/// back in input order regardless of completion order, keeping rendered
+/// tables deterministic.
+fn par_rows<I, F>(items: Vec<I>, run: F) -> Vec<(String, ClusterMetrics)>
+where
+    I: Send,
+    F: Fn(I) -> (String, ClusterMetrics) + Sync,
+{
+    std::thread::scope(|scope| {
+        let run = &run;
+        let handles: Vec<_> = items
+            .into_iter()
+            .map(|item| scope.spawn(move || run(item)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("figure row panicked"))
+            .collect()
+    })
+}
+
 /// The experiment runner: all figures at one [`Scale`].
 #[derive(Debug, Clone, Copy)]
 pub struct Experiments {
@@ -232,6 +257,8 @@ pub struct Experiments {
     pub scale: Scale,
     /// Master seed.
     pub seed: u64,
+    /// Executor that schedules and memoizes every cluster simulation.
+    pub plan: &'static RunPlan,
 }
 
 impl Experiments {
@@ -240,6 +267,7 @@ impl Experiments {
         Experiments {
             scale: Scale::quick(),
             seed: 0x15CA,
+            plan: RunPlan::global(),
         }
     }
 
@@ -247,8 +275,19 @@ impl Experiments {
     pub fn paper() -> Self {
         Experiments {
             scale: Scale::paper(),
-            seed: 0x15CA,
+            ..Experiments::quick()
         }
+    }
+
+    /// The same experiments on a specific executor (isolated memo table /
+    /// pinned worker count — see [`RunPlan::leaked`]).
+    pub fn on_plan(self, plan: &'static RunPlan) -> Self {
+        Experiments { plan, ..self }
+    }
+
+    /// Runs or recalls one cluster on this runner's executor.
+    fn cluster(&self, system: SystemSpec) -> ClusterMetrics {
+        self.plan.run_cluster(system, self.scale, self.seed)
     }
 
     fn latency_fig(
@@ -258,15 +297,12 @@ impl Experiments {
         systems: Vec<SystemSpec>,
         tweak: impl Fn(&mut ServerConfig) + Sync + Copy,
     ) -> LatencyFigure {
-        let runs = systems
-            .into_iter()
-            .map(|s| {
-                (
-                    s.name.to_string(),
-                    run_cluster_with(s, self.scale, self.seed, tweak),
-                )
-            })
-            .collect();
+        let runs = par_rows(systems, |s| {
+            (
+                s.name.to_string(),
+                self.plan.run_cluster_with(s, self.scale, self.seed, tweak),
+            )
+        });
         LatencyFigure::from_runs(title.into(), metric, runs)
     }
 
@@ -356,12 +392,12 @@ impl Experiments {
     /// Harvest-Block).
     pub fn fig6(&self) -> BreakdownFigure {
         let scale = self.scale.light_load();
-        let base = run_cluster(SystemSpec::no_harvest(), scale, self.seed);
+        let base = self.plan.run_cluster(SystemSpec::no_harvest(), scale, self.seed);
         let mut sys = SystemSpec::harvest_block();
         sys.harvest_busy = true;
         sys.buffer_cores = 0;
         sys.max_loaned_per_vm = 4;
-        let harv = run_cluster(sys, scale, self.seed);
+        let harv = self.plan.run_cluster(sys, scale, self.seed);
         let services = service_names();
         let n = services.len();
         let mut fig = BreakdownFigure {
@@ -409,21 +445,18 @@ impl Experiments {
             ("50%", 0.5, false),
             ("25%", 0.25, false),
         ];
-        let runs = variants
-            .into_iter()
-            .map(|(label, frac, inf)| {
-                let m = run_cluster_with(
-                    SystemSpec::no_harvest(),
-                    self.scale,
-                    self.seed,
-                    move |cfg| {
-                        cfg.capacity_frac = frac;
-                        cfg.infinite_cache = inf;
-                    },
-                );
-                (label.to_string(), m)
-            })
-            .collect();
+        let runs = par_rows(variants.to_vec(), |(label, frac, inf)| {
+            let m = self.plan.run_cluster_with(
+                SystemSpec::no_harvest(),
+                self.scale,
+                self.seed,
+                move |cfg| {
+                    cfg.capacity_frac = frac;
+                    cfg.infinite_cache = inf;
+                },
+            );
+            (label.to_string(), m)
+        });
         LatencyFigure::from_runs("Figure 7".into(), "P99", runs)
     }
 
@@ -465,37 +498,32 @@ impl Experiments {
             .map(|j| j.name)
             .take(self.scale.servers)
             .collect();
-        let base = run_cluster(systems[0], self.scale, self.seed);
-        let mut rows = Vec::new();
-        for s in systems {
-            let run;
-            let m = if s.name == "NoHarvest" {
-                &base
-            } else {
-                run = run_cluster(s, self.scale, self.seed);
-                &run
-            };
-            let vals: Vec<f64> = (0..jobs.len())
-                .map(|i| {
-                    let b = base.batch_throughput(i).max(1e-9);
-                    m.batch_throughput(i) / b
-                })
-                .collect();
-            let avg = vals.iter().sum::<f64>() / vals.len() as f64;
-            rows.push((s.name.to_string(), vals, avg));
-        }
+        let runs = par_rows(systems, |s| (s.name.to_string(), self.cluster(s)));
+        let base = &runs[0].1;
+        let rows = runs
+            .iter()
+            .map(|(name, m)| {
+                let vals: Vec<f64> = (0..jobs.len())
+                    .map(|i| {
+                        let b = base.batch_throughput(i).max(1e-9);
+                        m.batch_throughput(i) / b
+                    })
+                    .collect();
+                let avg = vals.iter().sum::<f64>() / vals.len() as f64;
+                (name.clone(), vals, avg)
+            })
+            .collect();
         ThroughputFigure { jobs, rows }
     }
 
     /// Section 6.7: average busy cores of the five systems.
     pub fn utilization(&self) -> Vec<(String, f64)> {
-        SystemSpec::evaluated_five()
-            .into_iter()
-            .map(|s| {
-                let m = run_cluster(s, self.scale, self.seed);
-                (s.name.to_string(), m.avg_busy_cores())
-            })
-            .collect()
+        par_rows(SystemSpec::evaluated_five(), |s| {
+            (s.name.to_string(), self.cluster(s))
+        })
+        .into_iter()
+        .map(|(name, m)| (name, m.avg_busy_cores()))
+        .collect()
     }
 
     /// Section 6.8: storage/area/power accounting.
@@ -511,36 +539,30 @@ impl Experiments {
             ("1MB/core", 1_048_576),
             ("0.5MB/core", 524_288),
         ];
-        let runs = sizes
-            .into_iter()
-            .map(|(label, bytes)| {
-                let m = run_cluster_with(
-                    SystemSpec::hardharvest_block(),
-                    self.scale,
-                    self.seed,
-                    move |cfg| cfg.llc.per_core_bytes = bytes,
-                );
-                (label.to_string(), m)
-            })
-            .collect();
+        let runs = par_rows(sizes.to_vec(), |(label, bytes)| {
+            let m = self.plan.run_cluster_with(
+                SystemSpec::hardharvest_block(),
+                self.scale,
+                self.seed,
+                move |cfg| cfg.llc.per_core_bytes = bytes,
+            );
+            (label.to_string(), m)
+        });
         LatencyFigure::from_runs("Figure 18".into(), "P99", runs)
     }
 
     /// Figure 19: eviction-candidate-set-size sensitivity.
     pub fn fig19(&self) -> LatencyFigure {
         let fracs = [("25%", 0.25), ("50%", 0.5), ("75%", 0.75), ("100%", 1.0)];
-        let runs = fracs
-            .into_iter()
-            .map(|(label, f)| {
-                let m = run_cluster_with(
-                    SystemSpec::hardharvest_block(),
-                    self.scale,
-                    self.seed,
-                    move |cfg| cfg.eviction_candidate_frac = Some(f),
-                );
-                (label.to_string(), m)
-            })
-            .collect();
+        let runs = par_rows(fracs.to_vec(), |(label, f)| {
+            let m = self.plan.run_cluster_with(
+                SystemSpec::hardharvest_block(),
+                self.scale,
+                self.seed,
+                move |cfg| cfg.eviction_candidate_frac = Some(f),
+            );
+            (label.to_string(), m)
+        });
         LatencyFigure::from_runs("Figure 19".into(), "P99", runs)
     }
 
@@ -549,7 +571,7 @@ impl Experiments {
     /// P99 and normalized Harvest throughput of HH-Term / HH-Adaptive /
     /// HH-Block.
     pub fn adaptive(&self) -> Table {
-        let base = run_cluster(SystemSpec::no_harvest(), self.scale, self.seed);
+        let base = self.cluster(SystemSpec::no_harvest());
         let base_thpt: f64 = (0..self.scale.servers)
             .map(|i| base.batch_throughput(i))
             .sum::<f64>()
@@ -565,7 +587,7 @@ impl Experiments {
             SystemSpec::hardharvest_adaptive(),
             SystemSpec::hardharvest_block(),
         ] {
-            let m = run_cluster(s, self.scale, self.seed);
+            let m = self.cluster(s);
             let thpt: f64 = (0..self.scale.servers).map(|i| m.batch_throughput(i)).sum();
             let reassigns: u64 = m.servers.iter().map(|sv| sv.reassignments).sum();
             t.row(vec![
@@ -582,18 +604,15 @@ impl Experiments {
     /// — 1/3, 1/2 or 2/3 of the ways of every private structure.
     pub fn region_sweep(&self) -> LatencyFigure {
         let fracs = [("1/3 ways", 1.0 / 3.0), ("1/2 ways", 0.5), ("2/3 ways", 2.0 / 3.0)];
-        let runs = fracs
-            .into_iter()
-            .map(|(label, f)| {
-                let m = run_cluster_with(
-                    SystemSpec::hardharvest_block(),
-                    self.scale,
-                    self.seed,
-                    move |cfg| cfg.harvest_frac = f,
-                );
-                (label.to_string(), m)
-            })
-            .collect();
+        let runs = par_rows(fracs.to_vec(), |(label, f)| {
+            let m = self.plan.run_cluster_with(
+                SystemSpec::hardharvest_block(),
+                self.scale,
+                self.seed,
+                move |cfg| cfg.harvest_frac = f,
+            );
+            (label.to_string(), m)
+        });
         LatencyFigure::from_runs("Harvest-region sweep (extension)".into(), "P99", runs)
     }
 
@@ -606,7 +625,7 @@ impl Experiments {
             "overflowed requests".into(),
         ]);
         for chunks in [32usize, 16, 9] {
-            let m = run_cluster_with(
+            let m = self.plan.run_cluster_with(
                 SystemSpec::hardharvest_block(),
                 self.scale,
                 self.seed,
@@ -627,18 +646,15 @@ impl Experiments {
     pub fn mshr_sweep(&self) -> LatencyFigure {
         let variants: [(&'static str, Option<usize>); 3] =
             [("no-MSHR model", None), ("32 MSHRs", Some(32)), ("8 MSHRs", Some(8))];
-        let runs = variants
-            .into_iter()
-            .map(|(label, mshrs)| {
-                let m = run_cluster_with(
-                    SystemSpec::hardharvest_block(),
-                    self.scale,
-                    self.seed,
-                    move |cfg| cfg.hierarchy.mshrs = mshrs,
-                );
-                (label.to_string(), m)
-            })
-            .collect();
+        let runs = par_rows(variants.to_vec(), |(label, mshrs)| {
+            let m = self.plan.run_cluster_with(
+                SystemSpec::hardharvest_block(),
+                self.scale,
+                self.seed,
+                move |cfg| cfg.hierarchy.mshrs = mshrs,
+            );
+            (label.to_string(), m)
+        });
         LatencyFigure::from_runs("MSHR-model sweep (extension)".into(), "P99", runs)
     }
 
@@ -686,6 +702,7 @@ mod tests {
                 rps_per_vm: 800.0,
             },
             seed: 0xE,
+            plan: RunPlan::global(),
         }
     }
 
@@ -718,6 +735,18 @@ mod tests {
     fn storage_is_paper_config() {
         let s = tiny().storage();
         assert_eq!(s.controller_bytes(), 19_408);
+    }
+
+    #[test]
+    fn fig11_and_fig16_share_their_simulations() {
+        // P99 (fig11) and Median (fig16) read different quantiles of the
+        // same five runs: together they must simulate exactly five
+        // clusters, with the whole second figure served from the memo.
+        let ex = tiny().on_plan(RunPlan::leaked(2));
+        assert_eq!(ex.fig11().rows.len(), 5);
+        assert_eq!(ex.fig16().rows.len(), 5);
+        assert_eq!(ex.plan.sims_run(), 5);
+        assert!(ex.plan.memo_hits() >= 5);
     }
 
     #[test]

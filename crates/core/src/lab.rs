@@ -9,17 +9,35 @@
 //! and offline Belady — and reports the L2 hit rates.
 
 use hh_mem::{
-    BeladyCache, CacheConfig, PolicyKind, SetAssocCache, TraceOp, Visibility, WayMask,
+    BatchRef, BeladyCache, CacheConfig, PolicyKind, SetAssocCache, TraceOp, Visibility, WayMask,
 };
 use hh_sim::{Rng64, VmId};
 use hh_workload::{BatchCatalog, RequestPlan, ServiceCatalog, ServiceId};
 use serde::Serialize;
 
-/// One recorded L2-bound reference or flush event.
-#[derive(Debug, Clone, Copy)]
+/// One recorded trace event: a *run* of L2-bound references sharing one
+/// allowed-way mask (the unit `SetAssocCache::access_run` replays in a
+/// single call), or a harvest-region flush.
+#[derive(Debug, Clone)]
 enum LabOp {
-    Access { key: u64, shared: bool, allowed: WayMask },
+    Run { refs: Vec<BatchRef>, allowed: WayMask },
     Flush(WayMask),
+}
+
+/// Appends one reference, extending the current run when the allowed mask
+/// is unchanged. Runs span whole invocations/harvest episodes, so batches
+/// are long and the per-reference dispatch cost of replay disappears.
+fn push_ref(ops: &mut Vec<LabOp>, key: u64, shared: bool, allowed: WayMask) {
+    // The lab replays reads only: policy quality is measured by hit rate,
+    // and dirtiness does not influence any studied policy's decisions.
+    let r = BatchRef { key, shared, write: false };
+    if let Some(LabOp::Run { refs, allowed: a }) = ops.last_mut() {
+        if *a == allowed {
+            refs.push(r);
+            return;
+        }
+    }
+    ops.push(LabOp::Run { refs: vec![r], allowed });
 }
 
 /// Hit rates of the four policies on the same trace (Figure 14's bars).
@@ -138,11 +156,7 @@ impl ReplacementLab {
                     let l1_all = WayMask::all(l1.ways());
                     if !l1.access(acc.line(), acc.class.is_shared(), l1_all, acc.kind.is_write()).hit
                     {
-                        ops.push(LabOp::Access {
-                            key: acc.line(),
-                            shared: acc.class.is_shared(),
-                            allowed: all,
-                        });
+                        push_ref(&mut ops, acc.line(), acc.class.is_shared(), all);
                     }
                 }
             }
@@ -164,11 +178,7 @@ impl ReplacementLab {
                         .access(acc.line(), acc.class.is_shared(), l1_harv, acc.kind.is_write())
                         .hit
                     {
-                        ops.push(LabOp::Access {
-                            key: acc.line(),
-                            shared: acc.class.is_shared(),
-                            allowed: self.harvest_mask,
-                        });
+                        push_ref(&mut ops, acc.line(), acc.class.is_shared(), self.harvest_mask);
                     }
                 }
                 ops.push(LabOp::Flush(self.harvest_mask));
@@ -183,12 +193,12 @@ impl ReplacementLab {
     fn replay_online(&self, ops: &[LabOp], policy: PolicyKind) -> f64 {
         let mut l2 = SetAssocCache::new(self.l2_sets, self.l2_ways, policy, self.harvest_mask);
         for op in ops {
-            match *op {
-                LabOp::Access { key, shared, allowed } => {
-                    l2.access(key, shared, allowed, false);
+            match op {
+                LabOp::Run { refs, allowed } => {
+                    l2.access_run(refs, *allowed);
                 }
                 LabOp::Flush(mask) => {
-                    l2.invalidate_ways(mask);
+                    l2.invalidate_ways(*mask);
                 }
             }
         }
@@ -204,10 +214,12 @@ impl ReplacementLab {
         let all = WayMask::all(self.l2_ways);
         let trace: Vec<TraceOp> = ops
             .iter()
-            .filter_map(|op| match *op {
-                LabOp::Access { key, .. } => Some(TraceOp::Access { key, allowed: all }),
+            .filter_map(|op| match op {
+                LabOp::Run { refs, .. } => Some(refs),
                 LabOp::Flush(_) => None,
             })
+            .flatten()
+            .map(|r| TraceOp::Access { key: r.key, allowed: all })
             .collect();
         BeladyCache::new(self.l2_sets, self.l2_ways).run(&trace).hit_rate()
     }

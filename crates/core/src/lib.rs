@@ -12,7 +12,10 @@
 //!   evaluation (see `DESIGN.md` for the index), returning typed rows that
 //!   render via [`Table`];
 //! * [`ReplacementLab`] — the offline Figure 14 policy study
-//!   (LRU/RRIP/HardHarvest/Belady L2 hit rates).
+//!   (LRU/RRIP/HardHarvest/Belady L2 hit rates);
+//! * [`RunPlan`] — the memoizing bounded-pool executor every cluster run
+//!   goes through (worker count: `HH_WORKERS`, default
+//!   `available_parallelism`; repeated identical runs simulate once).
 //!
 //! ## Quickstart
 //!
@@ -31,8 +34,10 @@ mod cluster;
 mod experiments;
 mod lab;
 mod report;
+mod runplan;
 
 pub use cluster::{run_cluster, run_cluster_with, ClusterMetrics, Scale};
+pub use runplan::RunPlan;
 pub use experiments::{
     BreakdownFigure, Experiments, LatencyFigure, LatencyRow, ThroughputFigure, UtilizationCdf,
 };

@@ -1,0 +1,317 @@
+//! The run-plan executor: one bounded worker pool plus a memo table for
+//! every cluster simulation the figure harness requests.
+//!
+//! Several figures re-run identical simulations: Figures 11 and 16 differ
+//! only in the percentile they report, Figure 17 and the utilization study
+//! revisit the same five systems, and four experiments re-simulate the
+//! stock `NoHarvest` baseline. [`RunPlan`] deduplicates them — a cluster
+//! run is keyed by a fingerprint of its fully-resolved per-server
+//! [`ServerConfig`]s, so any two requests that would simulate the same
+//! thing share one result.
+//!
+//! Per-server [`ServerSim`] jobs from *all* concurrent cluster runs are
+//! scheduled onto one bounded pool of OS threads (default:
+//! `available_parallelism`, overridable with `HH_WORKERS`), so a figure
+//! with five rows × N servers keeps every core busy without oversubscribing
+//! the machine. Results are collected by server index and merged in config
+//! order, which makes every metric bit-identical regardless of the worker
+//! count or scheduling interleaving.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+
+use hh_server::{ServerConfig, ServerMetrics, ServerSim, SystemSpec};
+
+use crate::{ClusterMetrics, Scale};
+
+/// A unit of pool work: simulate one server, send its metrics home.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Memoizing parallel executor for cluster simulations.
+///
+/// See the module docs for the design. The process-wide instance used by
+/// [`crate::run_cluster`] and [`crate::Experiments`] is [`RunPlan::global`];
+/// tests that need isolated memo tables or fixed worker counts create their
+/// own with [`RunPlan::with_workers`] / [`RunPlan::leaked`].
+pub struct RunPlan {
+    workers: usize,
+    queue: mpsc::Sender<Job>,
+    /// One cell per distinct simulation. The `Arc<OnceLock>` is cloned out
+    /// of the map before initialization, so concurrent requests for the
+    /// same key block on one simulation instead of racing duplicates.
+    memo: Mutex<HashMap<u64, Arc<OnceLock<ClusterMetrics>>>>,
+    sims_run: AtomicU64,
+    memo_hits: AtomicU64,
+}
+
+impl fmt::Debug for RunPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunPlan")
+            .field("workers", &self.workers)
+            .field("sims_run", &self.sims_run())
+            .field("memo_hits", &self.memo_hits())
+            .finish()
+    }
+}
+
+impl RunPlan {
+    /// An executor with `workers` pool threads (clamped to at least one).
+    pub fn with_workers(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        for _ in 0..workers {
+            let rx = Arc::clone(&rx);
+            std::thread::spawn(move || loop {
+                // Take the lock only to dequeue; run the job unlocked.
+                let job = match rx.lock().expect("worker queue poisoned").recv() {
+                    Ok(job) => job,
+                    Err(_) => break, // executor dropped
+                };
+                job();
+            });
+        }
+        RunPlan {
+            workers,
+            queue: tx,
+            memo: Mutex::new(HashMap::new()),
+            sims_run: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide executor. Worker count comes from `HH_WORKERS`
+    /// when set (and positive), else `available_parallelism`.
+    pub fn global() -> &'static RunPlan {
+        static GLOBAL: OnceLock<RunPlan> = OnceLock::new();
+        GLOBAL.get_or_init(|| RunPlan::with_workers(default_workers()))
+    }
+
+    /// A leaked, `'static` executor for tests that pin the worker count or
+    /// need an isolated memo table / fresh counters.
+    pub fn leaked(workers: usize) -> &'static RunPlan {
+        Box::leak(Box::new(RunPlan::with_workers(workers)))
+    }
+
+    /// Pool size.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Cluster simulations actually executed (memo misses).
+    pub fn sims_run(&self) -> u64 {
+        self.sims_run.load(Ordering::Relaxed)
+    }
+
+    /// Cluster runs served from the memo table without simulating.
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits.load(Ordering::Relaxed)
+    }
+
+    /// Runs (or recalls) a cluster under `system` with per-server config
+    /// tweaks. Equivalent requests — same resolved configs — simulate once.
+    pub fn run_cluster_with(
+        &self,
+        system: SystemSpec,
+        scale: Scale,
+        seed: u64,
+        tweak: impl Fn(&mut ServerConfig),
+    ) -> ClusterMetrics {
+        let configs = build_configs(system, scale, seed, tweak);
+        let key = fingerprint(system, &configs);
+        let cell = {
+            let mut memo = self.memo.lock().expect("memo poisoned");
+            Arc::clone(memo.entry(key).or_insert_with(|| Arc::new(OnceLock::new())))
+        };
+        if let Some(hit) = cell.get() {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        cell.get_or_init(|| {
+            self.sims_run.fetch_add(1, Ordering::Relaxed);
+            self.simulate(system, configs)
+        })
+        .clone()
+    }
+
+    /// Runs (or recalls) a cluster with stock Table 1 knobs.
+    pub fn run_cluster(&self, system: SystemSpec, scale: Scale, seed: u64) -> ClusterMetrics {
+        self.run_cluster_with(system, scale, seed, |_| {})
+    }
+
+    /// Fans the per-server jobs out to the pool and reassembles the
+    /// metrics in server order (determinism does not depend on which
+    /// worker finishes first).
+    fn simulate(&self, system: SystemSpec, configs: Vec<ServerConfig>) -> ClusterMetrics {
+        let n = configs.len();
+        let (tx, rx) = mpsc::channel::<(usize, ServerMetrics)>();
+        for (i, cfg) in configs.into_iter().enumerate() {
+            let tx = tx.clone();
+            self.queue
+                .send(Box::new(move || {
+                    let metrics = ServerSim::new(cfg).run();
+                    // The receiver only disappears if this run was abandoned
+                    // (caller panicked); nothing left to report then.
+                    let _ = tx.send((i, metrics));
+                }))
+                .expect("worker pool shut down");
+        }
+        drop(tx);
+        let mut slots: Vec<Option<ServerMetrics>> = (0..n).map(|_| None).collect();
+        for (i, metrics) in rx {
+            slots[i] = Some(metrics);
+        }
+        ClusterMetrics {
+            system: system.name,
+            servers: slots
+                .into_iter()
+                .map(|s| s.expect("server simulation lost"))
+                .collect(),
+        }
+    }
+}
+
+/// Resolves the per-server configurations of one cluster run, applying the
+/// experiment's tweak hook to each.
+fn build_configs(
+    system: SystemSpec,
+    scale: Scale,
+    seed: u64,
+    tweak: impl Fn(&mut ServerConfig),
+) -> Vec<ServerConfig> {
+    (0..scale.servers)
+        .map(|i| {
+            let mut cfg = ServerConfig::table1(system);
+            cfg.requests_per_vm = scale.requests_per_vm;
+            cfg.rps_per_vm = scale.rps_per_vm;
+            cfg.batch_job = i % 8;
+            cfg.seed = seed ^ ((i as u64 + 1) << 32);
+            tweak(&mut cfg);
+            cfg
+        })
+        .collect()
+}
+
+/// FNV-1a over the `Debug` rendering of the system label and every
+/// resolved per-server config. The config embeds the [`SystemSpec`], the
+/// scale knobs and the per-server seed, so two runs collide only if they
+/// would simulate identically; the label is mixed in so same-config
+/// variants renamed for a figure stay distinct rows.
+fn fingerprint(system: SystemSpec, configs: &[ServerConfig]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(system.name.as_bytes());
+    for cfg in configs {
+        mix(format!("{cfg:?}").as_bytes());
+    }
+    h
+}
+
+/// `HH_WORKERS` when set to a positive integer, else the machine's
+/// available parallelism.
+fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("HH_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            servers: 2,
+            requests_per_vm: 40,
+            rps_per_vm: 800.0,
+        }
+    }
+
+    #[test]
+    fn identical_requests_simulate_once() {
+        let plan = RunPlan::with_workers(2);
+        let a = plan.run_cluster(SystemSpec::no_harvest(), tiny(), 9);
+        let b = plan.run_cluster(SystemSpec::no_harvest(), tiny(), 9);
+        assert_eq!(plan.sims_run(), 1);
+        assert_eq!(plan.memo_hits(), 1);
+        assert_eq!(a.completed(), b.completed());
+        assert_eq!(
+            a.pooled_latency_ms().values(),
+            b.pooled_latency_ms().values()
+        );
+    }
+
+    #[test]
+    fn different_tweaks_do_not_collide() {
+        let plan = RunPlan::with_workers(2);
+        let a = plan.run_cluster(SystemSpec::no_harvest(), tiny(), 9);
+        let b = plan.run_cluster_with(SystemSpec::no_harvest(), tiny(), 9, |cfg| {
+            cfg.requests_per_vm = 20;
+        });
+        assert_eq!(plan.sims_run(), 2);
+        assert_ne!(a.completed(), b.completed());
+    }
+
+    #[test]
+    fn renamed_variant_is_a_distinct_row() {
+        // Same config, different figure label: both must simulate (the
+        // label is part of the row identity even though metrics match).
+        let plan = RunPlan::with_workers(1);
+        let a = plan.run_cluster(SystemSpec::no_harvest(), tiny(), 9);
+        let b = plan.run_cluster(SystemSpec::no_harvest_named("No-Move"), tiny(), 9);
+        assert_eq!(plan.sims_run(), 2);
+        assert_eq!(a.system, "NoHarvest");
+        assert_eq!(b.system, "No-Move");
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let one = RunPlan::with_workers(1);
+        let four = RunPlan::with_workers(4);
+        let a = one.run_cluster(SystemSpec::hardharvest_block(), tiny(), 3);
+        let b = four.run_cluster(SystemSpec::hardharvest_block(), tiny(), 3);
+        assert_eq!(
+            a.pooled_latency_ms().values(),
+            b.pooled_latency_ms().values()
+        );
+        assert_eq!(a.avg_busy_cores(), b.avg_busy_cores());
+    }
+
+    #[test]
+    fn concurrent_identical_requests_share_one_simulation() {
+        let plan: &'static RunPlan = RunPlan::leaked(2);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    plan.run_cluster(SystemSpec::harvest_block(), tiny(), 5)
+                })
+            })
+            .collect();
+        let runs: Vec<ClusterMetrics> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Racing threads either hit the memo fast path or block inside the
+        // same cell's initialization — never a duplicate simulation.
+        assert_eq!(plan.sims_run(), 1);
+        assert!(plan.memo_hits() <= 3);
+        for r in &runs[1..] {
+            assert_eq!(
+                r.pooled_latency_ms().values(),
+                runs[0].pooled_latency_ms().values()
+            );
+        }
+    }
+}

@@ -1,24 +1,26 @@
 //! The set-associative cache/TLB structure with way partitioning and the
 //! HardHarvest replacement algorithm (paper Sections 4.2.1–4.2.4).
+//!
+//! The storage is struct-of-arrays: tags live in one dense `Vec<u64>` so
+//! the hit-path probe scans a single cache line per set, while the
+//! valid/shared/dirty/RRPV state is packed into one metadata byte per
+//! entry and LRU stamps sit in their own array. Victim selection operates
+//! on an *effective* way mask (`allowed ∩ ways`) computed once per
+//! access, never re-filtered inside scan loops.
 
 use serde::{Deserialize, Serialize};
 
 use crate::{PolicyKind, WayMask};
 
-/// One cache/TLB entry.
-#[derive(Debug, Clone, Copy, Default)]
-struct Entry {
-    tag: u64,
-    valid: bool,
-    /// The page-table `Shared` bit, copied into the entry on insertion
-    /// (Section 4.2.2).
-    shared: bool,
-    dirty: bool,
-    /// LRU stamp: larger = more recently used.
-    stamp: u64,
-    /// SRRIP re-reference prediction value (0 = near, 3 = distant).
-    rrpv: u8,
-}
+/// Packed per-entry metadata bits (see [`SetAssocCache::meta`]).
+const META_VALID: u8 = 1 << 0;
+/// The page-table `Shared` bit, copied into the entry on insertion
+/// (Section 4.2.2).
+const META_SHARED: u8 = 1 << 1;
+const META_DIRTY: u8 = 1 << 2;
+/// SRRIP re-reference prediction value (0 = near, 3 = distant), two bits.
+const RRPV_SHIFT: u8 = 3;
+const RRPV_MASK: u8 = 0b11 << RRPV_SHIFT;
 
 /// Hit/miss accounting for one structure.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -59,6 +61,28 @@ pub struct AccessOutcome {
     pub writeback: bool,
 }
 
+/// One reference of a batched [`SetAssocCache::access_run`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchRef {
+    /// Line/page key (already VM-namespaced).
+    pub key: u64,
+    /// The page-class `Shared` bit.
+    pub shared: bool,
+    /// Whether the reference dirties the line.
+    pub write: bool,
+}
+
+/// Aggregate result of one [`SetAssocCache::access_run`] batch.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// References that hit.
+    pub hits: u64,
+    /// References that missed.
+    pub misses: u64,
+    /// References whose miss handling wrote back at least one dirty line.
+    pub writebacks: u64,
+}
+
 /// A set-associative cache or TLB with harvest/non-harvest way partitioning.
 ///
 /// TLBs are the same structure instantiated over page numbers instead of
@@ -84,7 +108,14 @@ pub struct AccessOutcome {
 pub struct SetAssocCache {
     sets: usize,
     ways: usize,
-    entries: Vec<Entry>,
+    /// Tags alone, `sets * ways` long, so the hit probe strides one dense
+    /// u64 array instead of 32-byte entry records.
+    tags: Vec<u64>,
+    /// One packed metadata byte per entry: bit 0 valid, bit 1 shared,
+    /// bit 2 dirty, bits 3–4 the SRRIP RRPV.
+    meta: Vec<u8>,
+    /// LRU stamps: larger = more recently used.
+    stamps: Vec<u64>,
     policy: PolicyKind,
     /// Ways forming the harvest region (HarvestMask register).
     harvest_mask: WayMask,
@@ -108,7 +139,9 @@ impl SetAssocCache {
         SetAssocCache {
             sets,
             ways,
-            entries: vec![Entry::default(); sets * ways],
+            tags: vec![0; sets * ways],
+            meta: vec![0; sets * ways],
+            stamps: vec![0; sets * ways],
             policy,
             harvest_mask,
             clock: 0,
@@ -161,21 +194,25 @@ impl SetAssocCache {
         self.stats = CacheStats::default();
     }
 
+    /// The mask actually usable by an access: `allowed ∩ [0, ways)`.
+    /// Computed once per access so no scan loop re-filters way indices.
     #[inline]
-    fn set_range(&self, key: u64) -> std::ops::Range<usize> {
-        let set = (key % self.sets as u64) as usize;
-        let base = set * self.ways;
-        base..base + self.ways
+    fn effective(&self, allowed: WayMask) -> WayMask {
+        WayMask(allowed.0 & WayMask::all(self.ways).0)
+    }
+
+    #[inline]
+    fn set_base(&self, key: u64) -> usize {
+        (key % self.sets as u64) as usize * self.ways
     }
 
     /// Looks up `key` without updating any state. Returns the hit way.
     pub fn probe(&self, key: u64, allowed: WayMask) -> Option<usize> {
-        let range = self.set_range(key);
-        self.entries[range]
-            .iter()
-            .enumerate()
-            .find(|(w, e)| e.valid && e.tag == key && allowed.contains(*w))
-            .map(|(w, _)| w)
+        let eff = self.effective(allowed);
+        let base = self.set_base(key);
+        (0..self.ways).find(|&w| {
+            self.tags[base + w] == key && self.meta[base + w] & META_VALID != 0 && eff.contains(w)
+        })
     }
 
     /// Performs one access: `key` is the line/page address (already
@@ -183,89 +220,150 @@ impl SetAssocCache {
     /// access may see, `write` whether it dirties the line.
     ///
     /// On a miss the line is inserted into an allowed way chosen by the
-    /// configured replacement policy; if `allowed` is empty the access
-    /// bypasses the structure entirely (counted as a miss, nothing
-    /// inserted).
+    /// configured replacement policy; if the line is also resident in a
+    /// *disallowed* way, that stale copy is invalidated first (with
+    /// writeback accounting) so a tag is never duplicated within a set. If
+    /// `allowed` is empty the access bypasses the structure entirely
+    /// (counted as a miss, nothing inserted or invalidated).
     pub fn access(&mut self, key: u64, shared: bool, allowed: WayMask, write: bool) -> AccessOutcome {
+        let eff = self.effective(allowed);
+        self.access_at(key, shared, eff, write)
+    }
+
+    /// Drives an ordered batch of references through the cache with one
+    /// call: the effective way mask is computed once for the whole run and
+    /// the per-reference dispatch overhead disappears. Exactly equivalent
+    /// to calling [`SetAssocCache::access`] per element in order — the
+    /// address-stream synthesizer (`hh-workload`'s `PhaseStream::batch`)
+    /// produces batches in stream order precisely so replay results stay
+    /// bit-identical to the scalar path.
+    pub fn access_run(&mut self, refs: &[BatchRef], allowed: WayMask) -> BatchOutcome {
+        let eff = self.effective(allowed);
+        let mut out = BatchOutcome::default();
+        for r in refs {
+            let o = self.access_at(r.key, r.shared, eff, r.write);
+            if o.hit {
+                out.hits += 1;
+            } else {
+                out.misses += 1;
+            }
+            out.writebacks += o.writeback as u64;
+        }
+        out
+    }
+
+    /// The access core; `eff` must already be intersected with the
+    /// structure's ways.
+    #[inline]
+    fn access_at(&mut self, key: u64, shared: bool, eff: WayMask, write: bool) -> AccessOutcome {
         self.clock += 1;
         let clock = self.clock;
-        let range = self.set_range(key);
+        let base = self.set_base(key);
 
-        // Hit path.
+        // Probe: scan the dense tag array; ways holding this tag outside
+        // the allowed mask are remembered as stale twins.
+        let mut stale_ways: u32 = 0;
         for w in 0..self.ways {
-            let e = &mut self.entries[range.start + w];
-            if e.valid && e.tag == key && allowed.contains(w) {
-                e.stamp = clock;
-                e.rrpv = 0;
-                e.dirty |= write;
-                self.stats.hits += 1;
-                return AccessOutcome {
-                    hit: true,
-                    writeback: false,
-                };
+            let i = base + w;
+            if self.tags[i] == key && self.meta[i] & META_VALID != 0 {
+                if eff.contains(w) {
+                    self.stamps[i] = clock;
+                    let mut m = self.meta[i] & !RRPV_MASK;
+                    if write {
+                        m |= META_DIRTY;
+                    }
+                    self.meta[i] = m;
+                    self.stats.hits += 1;
+                    return AccessOutcome {
+                        hit: true,
+                        writeback: false,
+                    };
+                }
+                stale_ways |= 1 << w;
             }
         }
 
         self.stats.misses += 1;
-        if allowed.is_empty() {
+        if eff.is_empty() {
             return AccessOutcome {
                 hit: false,
                 writeback: false,
             };
         }
 
-        let victim = self.choose_victim(range.start, allowed, shared);
-        let e = &mut self.entries[range.start + victim];
-        let writeback = e.valid && e.dirty;
-        if writeback {
-            self.stats.writebacks += 1;
+        // The key is resident in disallowed ways only: drop those copies
+        // before inserting so the set never holds duplicate tags (a dirty
+        // copy is written back now rather than double-counted later).
+        let mut writeback = false;
+        while stale_ways != 0 {
+            let w = stale_ways.trailing_zeros() as usize;
+            stale_ways &= stale_ways - 1;
+            let i = base + w;
+            if self.meta[i] & META_DIRTY != 0 {
+                self.stats.writebacks += 1;
+                writeback = true;
+            }
+            self.tags[i] = 0;
+            self.meta[i] = 0;
+            self.stamps[i] = 0;
         }
-        *e = Entry {
-            tag: key,
-            valid: true,
-            shared,
-            dirty: write,
-            stamp: clock,
-            rrpv: 2, // SRRIP long-rereference insertion
-        };
+
+        let victim = self.choose_victim(base, eff, shared);
+        let i = base + victim;
+        if self.meta[i] & (META_VALID | META_DIRTY) == META_VALID | META_DIRTY {
+            self.stats.writebacks += 1;
+            writeback = true;
+        }
+        self.tags[i] = key;
+        self.stamps[i] = clock;
+        // SRRIP long-rereference insertion (RRPV = 2).
+        self.meta[i] = META_VALID
+            | if shared { META_SHARED } else { 0 }
+            | if write { META_DIRTY } else { 0 }
+            | (2 << RRPV_SHIFT);
         AccessOutcome {
             hit: false,
             writeback,
         }
     }
 
-    /// Chooses the way (relative to the set) to victimize.
-    fn choose_victim(&mut self, base: usize, allowed: WayMask, incoming_shared: bool) -> usize {
+    /// Chooses the way (relative to the set) to victimize. `eff` is the
+    /// pre-intersected allowed mask, verified non-empty by the caller.
+    fn choose_victim(&mut self, base: usize, eff: WayMask, incoming_shared: bool) -> usize {
         match self.policy {
-            PolicyKind::Lru => self.victim_lru(base, allowed),
-            PolicyKind::Rrip => self.victim_rrip(base, allowed),
+            PolicyKind::Lru => self.victim_lru(base, eff),
+            PolicyKind::Rrip => self.victim_rrip(base, eff),
             PolicyKind::HardHarvest { candidate_frac } => {
-                self.victim_hardharvest(base, allowed, incoming_shared, candidate_frac)
+                self.victim_hardharvest(base, eff, incoming_shared, candidate_frac)
             }
         }
     }
 
-    fn victim_lru(&self, base: usize, allowed: WayMask) -> usize {
-        if let Some(w) = self.first_empty(base, allowed) {
+    fn victim_lru(&self, base: usize, eff: WayMask) -> usize {
+        if let Some(w) = self.first_empty(base, eff) {
             return w;
         }
-        self.lru_of(base, allowed, |_| true)
+        self.lru_of(base, eff, |_| true)
             .expect("allowed mask verified non-empty")
     }
 
-    fn victim_rrip(&mut self, base: usize, allowed: WayMask) -> usize {
-        if let Some(w) = self.first_empty(base, allowed) {
+    fn victim_rrip(&mut self, base: usize, eff: WayMask) -> usize {
+        if let Some(w) = self.first_empty(base, eff) {
             return w;
         }
+        // `eff` is already the effective mask, so both passes iterate it
+        // directly — no per-iteration re-filtering.
         loop {
-            for w in allowed.iter().filter(|&w| w < self.ways) {
-                if self.entries[base + w].rrpv >= 3 {
+            for w in eff.iter() {
+                if self.meta[base + w] & RRPV_MASK == RRPV_MASK {
                     return w;
                 }
             }
-            for w in allowed.iter().filter(|&w| w < self.ways) {
-                let e = &mut self.entries[base + w];
-                e.rrpv = (e.rrpv + 1).min(3);
+            for w in eff.iter() {
+                let i = base + w;
+                let rrpv = (self.meta[i] & RRPV_MASK) >> RRPV_SHIFT;
+                let aged = (rrpv + 1).min(3);
+                self.meta[i] = (self.meta[i] & !RRPV_MASK) | (aged << RRPV_SHIFT);
             }
         }
     }
@@ -274,12 +372,12 @@ impl SetAssocCache {
     fn victim_hardharvest(
         &self,
         base: usize,
-        allowed: WayMask,
+        eff: WayMask,
         incoming_shared: bool,
         candidate_frac: f64,
     ) -> usize {
-        let harv = self.harvest_mask & allowed;
-        let non_harv = self.harvest_mask.complement(self.ways) & allowed;
+        let harv = self.harvest_mask & eff;
+        let non_harv = self.harvest_mask.complement(self.ways) & eff;
 
         // Empty-slot cases (Algorithm 1, first branch). Empty slots are not
         // subject to the candidate window.
@@ -295,19 +393,22 @@ impl SetAssocCache {
         }
 
         // No empty slot: restrict to the M least-recently-used entries.
-        let allowed_count = allowed
-            .iter()
-            .filter(|&w| w < self.ways)
-            .count();
+        // At most 32 ways, so the age sort runs on a stack buffer.
+        let allowed_count = eff.count();
         let m = ((allowed_count as f64 * candidate_frac).round() as usize).clamp(1, allowed_count);
-        let mut by_age: Vec<usize> = allowed.iter().filter(|&w| w < self.ways).collect();
-        by_age.sort_by_key(|&w| self.entries[base + w].stamp);
-        by_age.truncate(m);
-        let candidate = |w: usize| by_age.contains(&w);
+        let mut by_age = [0usize; 32];
+        let mut n = 0;
+        for w in eff.iter() {
+            by_age[n] = w;
+            n += 1;
+        }
+        by_age[..n].sort_by_key(|&w| self.stamps[base + w]);
+        let window = &by_age[..m];
+        let candidate = |w: usize| window.contains(&w);
 
         let pick_lru = |region: WayMask, private_only: bool| -> Option<usize> {
             self.lru_of(base, region, |w| {
-                candidate(w) && (!private_only || !self.entries[base + w].shared)
+                candidate(w) && (!private_only || self.meta[base + w] & META_SHARED == 0)
             })
         };
 
@@ -315,43 +416,46 @@ impl SetAssocCache {
             // Private victim in Non-Harv, then private in Harv, then any.
             pick_lru(non_harv, true)
                 .or_else(|| pick_lru(harv, true))
-                .or_else(|| pick_lru(allowed, false))
+                .or_else(|| pick_lru(eff, false))
                 .expect("candidate window is non-empty")
         } else {
             // Private victim in Harv, then private in Non-Harv, then any.
             pick_lru(harv, true)
                 .or_else(|| pick_lru(non_harv, true))
-                .or_else(|| pick_lru(allowed, false))
+                .or_else(|| pick_lru(eff, false))
                 .expect("candidate window is non-empty")
         }
     }
 
+    /// First invalid way in `mask` (pre-intersected with the structure).
     fn first_empty(&self, base: usize, mask: WayMask) -> Option<usize> {
-        mask.iter()
-            .filter(|&w| w < self.ways)
-            .find(|&w| !self.entries[base + w].valid)
+        mask.iter().find(|&w| self.meta[base + w] & META_VALID == 0)
     }
 
     /// Least-recently-used way in `mask` satisfying `pred`.
     fn lru_of(&self, base: usize, mask: WayMask, pred: impl Fn(usize) -> bool) -> Option<usize> {
         mask.iter()
-            .filter(|&w| w < self.ways && pred(w))
-            .min_by_key(|&w| self.entries[base + w].stamp)
+            .filter(|&w| pred(w))
+            .min_by_key(|&w| self.stamps[base + w])
     }
 
     /// Invalidates every entry in the given ways across all sets (the
     /// harvest-region flush). Returns the number of valid entries dropped.
     pub fn invalidate_ways(&mut self, mask: WayMask) -> u64 {
+        let eff = self.effective(mask);
         let mut dropped = 0;
         for set in 0..self.sets {
-            for w in mask.iter().filter(|&w| w < self.ways) {
-                let e = &mut self.entries[set * self.ways + w];
-                if e.valid {
+            let base = set * self.ways;
+            for w in eff.iter() {
+                let i = base + w;
+                if self.meta[i] & META_VALID != 0 {
                     dropped += 1;
-                    if e.dirty {
+                    if self.meta[i] & META_DIRTY != 0 {
                         self.stats.writebacks += 1;
                     }
-                    *e = Entry::default();
+                    self.tags[i] = 0;
+                    self.meta[i] = 0;
+                    self.stamps[i] = 0;
                 }
             }
         }
@@ -367,15 +471,17 @@ impl SetAssocCache {
 
     /// Number of currently valid entries.
     pub fn occupancy(&self) -> usize {
-        self.entries.iter().filter(|e| e.valid).count()
+        self.meta.iter().filter(|&&m| m & META_VALID != 0).count()
     }
 
     /// Number of valid entries resident in the given ways.
     pub fn occupancy_in(&self, mask: WayMask) -> usize {
+        let eff = self.effective(mask);
         let mut n = 0;
         for set in 0..self.sets {
-            for w in mask.iter().filter(|&w| w < self.ways) {
-                if self.entries[set * self.ways + w].valid {
+            let base = set * self.ways;
+            for w in eff.iter() {
+                if self.meta[base + w] & META_VALID != 0 {
                     n += 1;
                 }
             }
@@ -385,11 +491,12 @@ impl SetAssocCache {
 
     /// Number of valid *shared* entries resident in the given ways.
     pub fn shared_occupancy_in(&self, mask: WayMask) -> usize {
+        let eff = self.effective(mask);
         let mut n = 0;
         for set in 0..self.sets {
-            for w in mask.iter().filter(|&w| w < self.ways) {
-                let e = &self.entries[set * self.ways + w];
-                if e.valid && e.shared {
+            let base = set * self.ways;
+            for w in eff.iter() {
+                if self.meta[base + w] & (META_VALID | META_SHARED) == META_VALID | META_SHARED {
                     n += 1;
                 }
             }
@@ -460,6 +567,87 @@ mod tests {
         c.access(7, true, non_harvest, false); // resident in a non-harvest way
         // an access restricted to harvest ways must not see it
         assert!(!c.access(7, true, harvest_only, false).hit);
+    }
+
+    #[test]
+    fn disallowed_resident_copy_is_invalidated_on_miss() {
+        let mut c = small(PolicyKind::Lru);
+        let harvest_only = WayMask::lower(2);
+        let non_harvest = harvest_only.complement(4);
+        c.access(7, false, non_harvest, true); // dirty, resident in a NH way
+        // Miss restricted to harvest ways: the stale NH copy must be
+        // dropped (and written back) before the new insertion, leaving a
+        // single resident copy rather than a duplicate tag.
+        let out = c.access(7, false, harvest_only, false);
+        assert!(!out.hit);
+        assert!(out.writeback, "dirty stale copy must be written back");
+        assert_eq!(c.stats().writebacks, 1);
+        assert_eq!(c.occupancy(), 1, "no duplicate tag in the set");
+        assert_eq!(c.occupancy_in(non_harvest), 0);
+        assert_eq!(c.occupancy_in(harvest_only), 1);
+        assert!(c.access(7, false, ALL4, false).hit);
+        // Evicting the surviving copy (clean) must not write back again.
+        c.access(8, false, harvest_only, false);
+        c.access(9, false, harvest_only, false);
+        assert_eq!(c.stats().writebacks, 1, "no double-counted writeback");
+    }
+
+    #[test]
+    fn clean_disallowed_copy_drops_without_writeback() {
+        let mut c = small(PolicyKind::Lru);
+        let harvest_only = WayMask::lower(2);
+        let non_harvest = harvest_only.complement(4);
+        c.access(7, false, non_harvest, false); // clean copy
+        let out = c.access(7, false, harvest_only, false);
+        assert!(!out.hit && !out.writeback);
+        assert_eq!(c.stats().writebacks, 0);
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn bypass_leaves_disallowed_copy_resident() {
+        let mut c = small(PolicyKind::Lru);
+        let non_harvest = WayMask::lower(2).complement(4);
+        c.access(7, false, non_harvest, false);
+        // Empty allowed mask: nothing is inserted, so the resident copy
+        // must not be invalidated either.
+        c.access(7, false, WayMask::EMPTY, false);
+        assert_eq!(c.occupancy(), 1);
+        assert!(c.access(7, false, ALL4, false).hit);
+    }
+
+    #[test]
+    fn access_run_matches_scalar_loop() {
+        let refs: Vec<BatchRef> = (0..600u64)
+            .map(|i| BatchRef {
+                key: (i * 29) % 97,
+                shared: i % 3 == 0,
+                write: i % 7 == 0,
+            })
+            .collect();
+        for policy in [
+            PolicyKind::Lru,
+            PolicyKind::Rrip,
+            PolicyKind::hardharvest_default(),
+        ] {
+            let mask = WayMask::lower(3);
+            let mut scalar = SetAssocCache::new(8, 4, policy, WayMask::lower(2));
+            let mut batched = scalar.clone();
+            let mut hits = 0;
+            for r in &refs {
+                if scalar.access(r.key, r.shared, mask, r.write).hit {
+                    hits += 1;
+                }
+            }
+            let out = batched.access_run(&refs, mask);
+            assert_eq!(scalar.stats(), batched.stats(), "{policy:?}");
+            assert_eq!(out.hits, hits, "{policy:?}");
+            assert_eq!(out.hits + out.misses, refs.len() as u64);
+            assert_eq!(scalar.occupancy(), batched.occupancy());
+            for k in 0..97 {
+                assert_eq!(scalar.probe(k, mask), batched.probe(k, mask), "{policy:?} key {k}");
+            }
+        }
     }
 
     #[test]

@@ -96,9 +96,21 @@ impl WayMask {
         self.0 & other.0 != 0
     }
 
-    /// Iterates over the way indices in the mask, ascending.
+    /// Iterates over the way indices in the mask, ascending. Scans set
+    /// bits directly (`trailing_zeros`) rather than testing all 32
+    /// positions, since victim selection iterates masks in its inner loop.
+    #[inline]
     pub fn iter(self) -> impl Iterator<Item = usize> {
-        (0..32).filter(move |&w| self.contains(w))
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let w = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(w)
+            }
+        })
     }
 }
 

@@ -28,13 +28,28 @@ use crate::Cycles;
 /// assert_eq!(s.percentile(0.99), 99.0);
 /// assert_eq!(s.len(), 100);
 /// ```
-#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct Samples {
     values: Vec<f64>,
     sorted: bool,
+    /// Quantile queries answered by selection since the data last changed;
+    /// once this passes [`Samples::SORT_AFTER`] the next query sorts fully
+    /// and caches the order.
+    unsorted_queries: u32,
+}
+
+impl PartialEq for Samples {
+    fn eq(&self, other: &Self) -> bool {
+        // The query counter is a performance hint, not data.
+        self.values == other.values && self.sorted == other.sorted
+    }
 }
 
 impl Samples {
+    /// Unsorted quantile queries tolerated (answered by `select_nth`, O(n)
+    /// each) before the next query sorts the whole set once and caches it.
+    const SORT_AFTER: u32 = 2;
+
     /// Creates an empty sample set.
     pub fn new() -> Self {
         Samples::default()
@@ -45,6 +60,7 @@ impl Samples {
         Samples {
             values: Vec::with_capacity(capacity),
             sorted: true,
+            unsorted_queries: 0,
         }
     }
 
@@ -56,6 +72,7 @@ impl Samples {
         assert!(!value.is_nan(), "NaN sample recorded");
         self.values.push(value);
         self.sorted = false;
+        self.unsorted_queries = 0;
     }
 
     /// Number of observations.
@@ -91,14 +108,28 @@ impl Samples {
         if self.values.is_empty() {
             return 0.0;
         }
-        if !self.sorted {
+        let n = self.values.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        if self.sorted {
+            return self.values[rank - 1];
+        }
+        self.unsorted_queries += 1;
+        if self.unsorted_queries > Self::SORT_AFTER {
+            // Repeated quantile queries against the same data: sort once
+            // and serve every later query by index.
             self.values
                 .sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
             self.sorted = true;
+            self.unsorted_queries = 0;
+            return self.values[rank - 1];
         }
-        let n = self.values.len();
-        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
-        self.values[rank - 1]
+        // One-shot query: an O(n) selection places exactly the element a
+        // full sort would put at `rank - 1` (nearest-rank semantics are
+        // unchanged; ties are interchangeable f64 duplicates).
+        let (_, nth, _) = self
+            .values
+            .select_nth_unstable_by(rank - 1, |a, b| a.partial_cmp(b).expect("no NaN recorded"));
+        *nth
     }
 
     /// Median (P50).
@@ -111,10 +142,15 @@ impl Samples {
         self.percentile(0.99)
     }
 
-    /// Merges another sample set into this one.
+    /// Merges another sample set into this one. Merging an empty set is a
+    /// no-op and keeps any cached sort order valid.
     pub fn merge(&mut self, other: &Samples) {
+        if other.values.is_empty() {
+            return;
+        }
         self.values.extend_from_slice(&other.values);
         self.sorted = false;
+        self.unsorted_queries = 0;
     }
 
     /// Read-only view of the raw observations (unspecified order).
@@ -397,6 +433,44 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn nan_sample_panics() {
         Samples::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn merge_of_empty_preserves_sort_cache() {
+        let mut a: Samples = [2.0, 1.0, 3.0].into_iter().collect();
+        // Force the cached-sort path, then merge an empty set.
+        for _ in 0..4 {
+            a.median();
+        }
+        assert!(a.sorted, "repeated queries should cache the sort");
+        a.merge(&Samples::new());
+        assert!(a.sorted, "merging an empty set must not invalidate the cache");
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.median(), 2.0);
+    }
+
+    #[test]
+    fn selection_path_matches_sorted_path() {
+        // Deterministic pseudo-random data, queried both ways.
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        let vals: Vec<f64> = (0..997)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 10_000) as f64 / 7.0
+            })
+            .collect();
+        for q in [0.0, 0.01, 0.5, 0.9, 0.99, 1.0] {
+            let mut one_shot: Samples = vals.iter().copied().collect();
+            let a = one_shot.percentile(q); // selection path
+            let mut cached: Samples = vals.iter().copied().collect();
+            for _ in 0..4 {
+                cached.percentile(q); // third query sorts fully
+            }
+            let b = cached.percentile(q); // indexed path
+            assert_eq!(a, b, "q={q}");
+        }
     }
 
     #[test]

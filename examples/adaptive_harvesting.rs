@@ -8,12 +8,12 @@
 //! cargo run --release --example adaptive_harvesting
 //! ```
 
-use hh_core::{Experiments, Scale};
+use hh_core::Experiments;
 
 fn main() {
     let ex = Experiments {
-        scale: Scale::quick(),
         seed: 0xADA,
+        ..Experiments::quick()
     };
     println!("Comparing HardHarvest-Term / -Adaptive / -Block…\n");
     println!("{}", ex.adaptive().render());

@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public config
+//! and metrics types but never serializes through serde at runtime (all
+//! report rendering is hand-written). This shim keeps those derives
+//! compiling in a network-less build environment: the traits are empty
+//! markers with blanket impls and the derive macros expand to nothing.
+//! Dropping the `[patch.crates-io]` entries in the workspace manifest
+//! restores the real serde.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::Serializer`.
+pub trait Serializer {}
+
+/// Marker stand-in for `serde::Deserializer`.
+pub trait Deserializer<'de> {}

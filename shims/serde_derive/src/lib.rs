@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The reproduction only uses `#[derive(Serialize, Deserialize)]` as
+//! documentation of intent — nothing serializes through serde at runtime
+//! (reports are rendered by hand). The build environment has no network
+//! access to crates.io, so these derives expand to nothing; the real
+//! serde can be swapped back in by removing the `[patch.crates-io]`
+//! entries in the workspace manifest.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

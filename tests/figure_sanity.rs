@@ -11,6 +11,7 @@ fn mini() -> Experiments {
             rps_per_vm: 800.0,
         },
         seed: 0xF16,
+        ..Experiments::quick()
     }
 }
 
