@@ -37,7 +37,7 @@ mod report;
 mod runplan;
 
 pub use cluster::{run_cluster, run_cluster_with, ClusterMetrics, Scale};
-pub use runplan::RunPlan;
+pub use runplan::{resolved_configs, MemoTable, RunPlan};
 pub use experiments::{
     BreakdownFigure, Experiments, LatencyFigure, LatencyRow, ThroughputFigure, UtilizationCdf,
 };

@@ -29,6 +29,63 @@ use crate::{ClusterMetrics, Scale};
 /// A unit of pool work: simulate one server, send its metrics home.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// The memo table behind [`RunPlan`]: result cells bucketed by the
+/// fingerprint hash, with the *full* resolved key stored alongside each
+/// cell.
+///
+/// Keying by the bare 64-bit FNV-1a fingerprint alone would silently serve
+/// one configuration's [`ClusterMetrics`] for a different configuration on
+/// a hash collision. Instead the hash only selects a bucket; within the
+/// bucket the complete key string (system label plus every resolved
+/// per-server config) is compared before a cell is shared, so colliding
+/// configurations get distinct cells and distinct simulations.
+///
+/// Public so the `hh-check` oracle suite can probe the collision behaviour
+/// directly (forcing a real FNV-1a collision through `ServerConfig` is
+/// impractical; probing the bucket API is not).
+#[derive(Debug, Default)]
+pub struct MemoTable {
+    buckets: Mutex<HashMap<u64, Vec<(Box<str>, Arc<OnceLock<ClusterMetrics>>)>>>,
+}
+
+impl MemoTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        MemoTable::default()
+    }
+
+    /// The result cell for (`hash`, `full_key`), created on first use.
+    /// Two calls share a cell only when the full keys match — the hash is
+    /// a bucket index, never the identity. The `Arc<OnceLock>` is cloned
+    /// out of the table before initialization, so concurrent requests for
+    /// the same key block on one simulation instead of racing duplicates.
+    pub fn cell(&self, hash: u64, full_key: &str) -> Arc<OnceLock<ClusterMetrics>> {
+        let mut buckets = self.buckets.lock().expect("memo poisoned");
+        let bucket = buckets.entry(hash).or_default();
+        if let Some((_, cell)) = bucket.iter().find(|(k, _)| &**k == full_key) {
+            return Arc::clone(cell);
+        }
+        let cell = Arc::new(OnceLock::new());
+        bucket.push((full_key.into(), Arc::clone(&cell)));
+        cell
+    }
+
+    /// Number of distinct keys stored.
+    pub fn len(&self) -> usize {
+        self.buckets
+            .lock()
+            .expect("memo poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Memoizing parallel executor for cluster simulations.
 ///
 /// See the module docs for the design. The process-wide instance used by
@@ -38,10 +95,8 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 pub struct RunPlan {
     workers: usize,
     queue: mpsc::Sender<Job>,
-    /// One cell per distinct simulation. The `Arc<OnceLock>` is cloned out
-    /// of the map before initialization, so concurrent requests for the
-    /// same key block on one simulation instead of racing duplicates.
-    memo: Mutex<HashMap<u64, Arc<OnceLock<ClusterMetrics>>>>,
+    /// One cell per distinct simulation (see [`MemoTable`]).
+    memo: MemoTable,
     sims_run: AtomicU64,
     memo_hits: AtomicU64,
 }
@@ -76,7 +131,7 @@ impl RunPlan {
         RunPlan {
             workers,
             queue: tx,
-            memo: Mutex::new(HashMap::new()),
+            memo: MemoTable::new(),
             sims_run: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
         }
@@ -119,12 +174,9 @@ impl RunPlan {
         seed: u64,
         tweak: impl Fn(&mut ServerConfig),
     ) -> ClusterMetrics {
-        let configs = build_configs(system, scale, seed, tweak);
-        let key = fingerprint(system, &configs);
-        let cell = {
-            let mut memo = self.memo.lock().expect("memo poisoned");
-            Arc::clone(memo.entry(key).or_insert_with(|| Arc::new(OnceLock::new())))
-        };
+        let configs = resolved_configs(system, scale, seed, tweak);
+        let (hash, full_key) = memo_key(system, &configs);
+        let cell = self.memo.cell(hash, &full_key);
         if let Some(hit) = cell.get() {
             self.memo_hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
@@ -174,8 +226,10 @@ impl RunPlan {
 }
 
 /// Resolves the per-server configurations of one cluster run, applying the
-/// experiment's tweak hook to each.
-fn build_configs(
+/// experiment's tweak hook to each. This is exactly what [`RunPlan`] would
+/// simulate for the same arguments — public so the `hh-check` serial
+/// reference executor can replay identical configs outside the pool.
+pub fn resolved_configs(
     system: SystemSpec,
     scale: Scale,
     seed: u64,
@@ -194,26 +248,29 @@ fn build_configs(
         .collect()
 }
 
-/// FNV-1a over the `Debug` rendering of the system label and every
-/// resolved per-server config. The config embeds the [`SystemSpec`], the
-/// scale knobs and the per-server seed, so two runs collide only if they
-/// would simulate identically; the label is mixed in so same-config
-/// variants renamed for a figure stay distinct rows.
-fn fingerprint(system: SystemSpec, configs: &[ServerConfig]) -> u64 {
+/// The memo identity of one cluster run: the full key string (system label
+/// plus the `Debug` rendering of every resolved per-server config, which
+/// embeds the [`SystemSpec`], the scale knobs and the per-server seed) and
+/// its FNV-1a hash. The label is mixed in so same-config variants renamed
+/// for a figure stay distinct rows. The hash picks the [`MemoTable`]
+/// bucket; the string is what actually identifies the run.
+fn memo_key(system: SystemSpec, configs: &[ServerConfig]) -> (u64, String) {
+    use fmt::Write;
+    let mut full = String::with_capacity(256);
+    full.push_str(system.name);
+    for cfg in configs {
+        full.push('\n');
+        write!(full, "{cfg:?}").expect("String write is infallible");
+    }
+
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = OFFSET;
-    let mut mix = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(PRIME);
-        }
-    };
-    mix(system.name.as_bytes());
-    for cfg in configs {
-        mix(format!("{cfg:?}").as_bytes());
+    for &b in full.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
     }
-    h
+    (h, full)
 }
 
 /// `HH_WORKERS` when set to a positive integer, else the machine's
@@ -239,6 +296,37 @@ mod tests {
             requests_per_vm: 40,
             rps_per_vm: 800.0,
         }
+    }
+
+    #[test]
+    fn memo_hash_collision_keeps_cells_distinct() {
+        // Two different resolved configs forced onto the same fingerprint
+        // hash: the bucket must hold two cells, not alias one result.
+        let memo = MemoTable::new();
+        let a = memo.cell(0xDEAD_BEEF, "NoHarvest\nconfig-a");
+        let b = memo.cell(0xDEAD_BEEF, "NoHarvest\nconfig-b");
+        assert!(
+            !Arc::ptr_eq(&a, &b),
+            "hash collision must not alias two different configs"
+        );
+        assert_eq!(memo.len(), 2);
+        // Same hash *and* same full key → the same cell (the memo still
+        // deduplicates what it should).
+        let a_again = memo.cell(0xDEAD_BEEF, "NoHarvest\nconfig-a");
+        assert!(Arc::ptr_eq(&a, &a_again));
+        assert_eq!(memo.len(), 2);
+    }
+
+    #[test]
+    fn memo_key_separates_configs_beyond_the_hash() {
+        let sys = SystemSpec::no_harvest();
+        let a = resolved_configs(sys, tiny(), 9, |_| {});
+        let b = resolved_configs(sys, tiny(), 9, |cfg| cfg.requests_per_vm = 20);
+        let (_, key_a) = memo_key(sys, &a);
+        let (_, key_b) = memo_key(sys, &b);
+        assert_ne!(key_a, key_b, "full keys must differ for different configs");
+        let (hash_a2, key_a2) = memo_key(sys, &a);
+        assert_eq!((memo_key(sys, &a).0, key_a.clone()), (hash_a2, key_a2));
     }
 
     #[test]

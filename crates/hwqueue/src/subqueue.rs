@@ -141,6 +141,22 @@ impl Subqueue {
         self.peak_occupancy
     }
 
+    /// Arrival stamps of all ready entries in the order `dequeue_ready`
+    /// would serve them: hardware slots front to back, then the overflow
+    /// subqueue. Because enqueue times are monotone and every internal
+    /// movement (overflow promotion, chunk shedding, preemption) preserves
+    /// relative order, this sequence must be non-decreasing — the FIFO
+    /// invariant the `hh-check` suite and the `ServerSim` debug hook
+    /// verify.
+    pub fn ready_arrivals(&self) -> Vec<Cycles> {
+        self.slots
+            .iter()
+            .filter(|s| s.status == Status::Ready)
+            .map(|s| s.arrival)
+            .chain(self.overflow.iter().map(|s| s.arrival))
+            .collect()
+    }
+
     /// Number of dequeues that had been demoted to the overflow queue.
     pub fn overflow_served(&self) -> u64 {
         self.overflow_served
@@ -432,6 +448,30 @@ mod tests {
         let mut s = q(1);
         s.enqueue(1, Cycles::ZERO);
         s.mark_blocked(1);
+    }
+
+    #[test]
+    fn ready_arrivals_stay_fifo_across_shed_and_promote() {
+        let mut s = q(2); // 8 slots
+        for t in 0..10 {
+            s.enqueue(t, Cycles::new(t));
+        }
+        let check = |s: &Subqueue| {
+            let arr = s.ready_arrivals();
+            assert!(
+                arr.windows(2).all(|w| w[0] <= w[1]),
+                "ready arrivals out of order: {arr:?}"
+            );
+        };
+        check(&s);
+        s.shed_chunks(1); // spills youngest ready entries
+        check(&s);
+        let (t, _, _) = s.dequeue_ready().unwrap();
+        s.complete(t); // promotes an overflow entry
+        check(&s);
+        s.add_chunks(2);
+        check(&s);
+        assert_eq!(s.ready_arrivals().len(), s.ready_len());
     }
 
     #[test]

@@ -83,6 +83,32 @@ pub struct BatchOutcome {
     pub writebacks: u64,
 }
 
+/// Externally-visible state of one way of one set, for state comparison
+/// and divergence reports in the `hh-check` differential oracle.
+///
+/// Covers everything replacement decisions depend on: the tag, the
+/// valid/shared/dirty bits, the SRRIP re-reference value, and the LRU
+/// stamp (both the optimized cache and the reference model advance their
+/// clocks once per access, so stamps are directly comparable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WayState {
+    /// Way index within the set.
+    pub way: usize,
+    /// Stored tag (meaningless when `!valid`).
+    pub tag: u64,
+    /// Whether the entry holds a line.
+    pub valid: bool,
+    /// The page-class `Shared` bit.
+    pub shared: bool,
+    /// Whether the line is dirty.
+    pub dirty: bool,
+    /// SRRIP re-reference prediction value (0–3).
+    pub rrpv: u8,
+    /// LRU stamp (larger = more recently used; 0 when never touched or
+    /// invalidated).
+    pub stamp: u64,
+}
+
 /// A set-associative cache or TLB with harvest/non-harvest way partitioning.
 ///
 /// TLBs are the same structure instantiated over page numbers instead of
@@ -467,6 +493,36 @@ impl SetAssocCache {
     /// number of valid entries dropped.
     pub fn invalidate_all(&mut self) -> u64 {
         self.invalidate_ways(WayMask::all(self.ways))
+    }
+
+    /// Dumps the state of every way of `set` (see [`WayState`]). Used by
+    /// the differential oracle to compare against its reference model and
+    /// to print the ways of a diverging set.
+    ///
+    /// # Panics
+    /// Panics if `set` is out of range.
+    pub fn way_states(&self, set: usize) -> Vec<WayState> {
+        assert!(set < self.sets, "set {set} out of range");
+        let base = set * self.ways;
+        (0..self.ways)
+            .map(|w| {
+                let m = self.meta[base + w];
+                WayState {
+                    way: w,
+                    tag: self.tags[base + w],
+                    valid: m & META_VALID != 0,
+                    shared: m & META_SHARED != 0,
+                    dirty: m & META_DIRTY != 0,
+                    rrpv: (m & RRPV_MASK) >> RRPV_SHIFT,
+                    stamp: self.stamps[base + w],
+                }
+            })
+            .collect()
+    }
+
+    /// The set index a key maps to (for divergence reports).
+    pub fn set_of(&self, key: u64) -> usize {
+        (key % self.sets as u64) as usize
     }
 
     /// Number of currently valid entries.

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use hh_hwqueue::{Controller, ControllerConfig, EnqueueOutcome, VmKind};
 use hh_mem::{CoreMem, Dram, Llc, PolicyKind, Visibility};
 use hh_noc::{ControlTree, Mesh2D};
+use hh_sim::invariant::{invariant, InvariantSet, InvariantViolation};
 use hh_sim::{CoreId, Cycles, EventQueue, Rng64, VmId};
 use hh_workload::{BatchCatalog, BatchJob, LoadGen, RequestPlan, ServiceCatalog, ServiceId};
 
@@ -349,7 +350,9 @@ impl ServerSim {
             self.handle(ev);
             #[cfg(debug_assertions)]
             if budget % 4096 == 0 {
-                self.check_invariants();
+                if let Err(v) = self.check_invariants() {
+                    panic!("at {}: {v}", self.now);
+                }
             }
             if self.completed >= self.total_requests {
                 break;
@@ -1257,40 +1260,90 @@ impl ServerSim {
             }
     }
 
-    /// Structural invariants, verified periodically in debug builds. A
-    /// violation is a simulator bug, never a workload condition.
-    #[cfg(debug_assertions)]
-    fn check_invariants(&self) {
-        let level = self.metrics.busy_cores.level();
-        assert!(
-            (-1e-9..=self.cfg.cores as f64 + 1e-9).contains(&level),
-            "busy-core level {level} outside [0, {}]",
-            self.cfg.cores
-        );
-        assert!(self.ctrl.chunk_accounting_ok(), "chunk accounting broken");
-        for &b in &self.buffer {
-            assert!(self.cores[b].in_buffer, "buffer list/flag mismatch on core {b}");
-            assert!(
-                matches!(self.cores[b].run, Run::Idle),
-                "buffered core {b} is not idle"
-            );
-        }
-        for vm in 0..self.cfg.primary_vms {
-            let qm = self.ctrl.qm(VmId::from(vm));
-            for c in qm.loaned_cores() {
-                let core = &self.cores[c.index()];
-                assert_eq!(core.bound, vm, "loaned core {c} not bound to {vm}");
-                assert!(!core.in_buffer, "loaned core {c} sits in the buffer");
-            }
-        }
-        for (i, c) in self.cores.iter().enumerate() {
-            if let Run::Req { token } = c.run {
-                assert!(
-                    self.requests.contains_key(&token),
-                    "core {i} runs unknown request {token}"
-                );
-            }
-        }
+    /// The named structural invariants of a mid-simulation server state.
+    /// A violation of any of them is a simulator bug, never a workload
+    /// condition. Packaged as an [`InvariantSet`] so the `hh-check` oracle
+    /// suite, property tests and the periodic debug hook all run the same
+    /// rules and get the same pinpointed reports.
+    fn invariant_set() -> InvariantSet<ServerSim> {
+        InvariantSet::new()
+            .with(invariant("busy-core-level-bounds", |s: &ServerSim| {
+                let level = s.metrics.busy_cores.level();
+                if (-1e-9..=s.cfg.cores as f64 + 1e-9).contains(&level) {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "busy-core level {level} outside [0, {}]",
+                        s.cfg.cores
+                    ))
+                }
+            }))
+            .with(invariant("rq-chunk-conservation", |s: &ServerSim| {
+                if s.ctrl.chunk_accounting_ok() {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "owned+free chunk accounting broken (free={})",
+                        s.ctrl.free_chunks()
+                    ))
+                }
+            }))
+            .with(invariant("subqueue-fifo-order", |s: &ServerSim| {
+                for vm in 0..=s.cfg.primary_vms {
+                    let arr = s.ctrl.qm(VmId::from(vm)).queue().ready_arrivals();
+                    if let Some(w) = arr.windows(2).find(|w| w[0] > w[1]) {
+                        return Err(format!(
+                            "vm{vm} ready entries out of FIFO order: {} after {}",
+                            w[1], w[0]
+                        ));
+                    }
+                }
+                Ok(())
+            }))
+            .with(invariant("buffer-list-consistency", |s: &ServerSim| {
+                for &b in &s.buffer {
+                    if !s.cores[b].in_buffer {
+                        return Err(format!("buffer list/flag mismatch on core {b}"));
+                    }
+                    if !matches!(s.cores[b].run, Run::Idle) {
+                        return Err(format!("buffered core {b} is not idle"));
+                    }
+                }
+                Ok(())
+            }))
+            .with(invariant("loaned-core-binding", |s: &ServerSim| {
+                for vm in 0..s.cfg.primary_vms {
+                    let qm = s.ctrl.qm(VmId::from(vm));
+                    for c in qm.loaned_cores() {
+                        let core = &s.cores[c.index()];
+                        if core.bound != vm {
+                            return Err(format!("loaned core {c} not bound to vm{vm}"));
+                        }
+                        if core.in_buffer {
+                            return Err(format!("loaned core {c} sits in the buffer"));
+                        }
+                    }
+                }
+                Ok(())
+            }))
+            .with(invariant("live-request-tokens", |s: &ServerSim| {
+                for (i, c) in s.cores.iter().enumerate() {
+                    if let Run::Req { token } = c.run {
+                        if !s.requests.contains_key(&token) {
+                            return Err(format!("core {i} runs unknown request {token}"));
+                        }
+                    }
+                }
+                Ok(())
+            }))
+    }
+
+    /// Checks every structural invariant against the current state,
+    /// returning the first violation (named rule plus offending values).
+    /// Run automatically every few thousand events in debug builds; also
+    /// callable from tests and the `hh-check` harness at any point.
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        Self::invariant_set().check_all(self)
     }
 
     fn find_stealable_core(&self) -> Option<usize> {
@@ -1431,6 +1484,13 @@ mod tests {
         let free_m = run_small(SystemSpec::hardharvest_block(), 11);
         assert!(capped_m.batch_units < free_m.batch_units);
         assert_eq!(capped_m.completed(), 240);
+    }
+
+    #[test]
+    fn invariants_hold_on_a_fresh_server() {
+        let sim = ServerSim::new(ServerConfig::small(SystemSpec::hardharvest_block()));
+        sim.check_invariants()
+            .expect("fresh server must satisfy every structural invariant");
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! * [`Rng64`] — a small, fully deterministic PRNG plus the distribution
 //!   helpers the workload models need (exponential, lognormal, Zipf, …);
 //! * [`stats`] — streaming histograms, exact percentile sets, time-weighted
-//!   utilization accumulators.
+//!   utilization accumulators;
+//! * [`invariant`] — named invariant checks shared by the proptest suites,
+//!   the `hh-check` differential oracle and `ServerSim`'s debug hook.
 //!
 //! Everything here is deliberately dependency-free and deterministic: two runs
 //! with the same seed produce bit-identical results, which the integration
@@ -37,6 +39,7 @@
 mod dist;
 mod event;
 pub mod ids;
+pub mod invariant;
 mod rng;
 pub mod stats;
 mod time;
@@ -44,5 +47,6 @@ mod time;
 pub use dist::{Exponential, LogNormal, Pareto, Zipf};
 pub use event::EventQueue;
 pub use ids::{CoreId, ServerId, VmId};
+pub use invariant::{Invariant, InvariantSet, InvariantViolation};
 pub use rng::Rng64;
 pub use time::{Cycles, CLOCK_GHZ};

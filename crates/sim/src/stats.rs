@@ -28,14 +28,34 @@ use crate::Cycles;
 /// assert_eq!(s.percentile(0.99), 99.0);
 /// assert_eq!(s.len(), 100);
 /// ```
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Samples {
     values: Vec<f64>,
+    /// Running sum in *insertion* order. `mean()` must not depend on the
+    /// storage order of `values`, which the percentile paths reorder
+    /// in place (both the cached full sort and `select_nth_unstable_by`)
+    /// — summing storage would let a quantile query perturb the mean by
+    /// ULPs.
+    sum: f64,
     sorted: bool,
     /// Quantile queries answered by selection since the data last changed;
     /// once this passes [`Samples::SORT_AFTER`] the next query sorts fully
     /// and caches the order.
     unsorted_queries: u32,
+}
+
+impl Default for Samples {
+    fn default() -> Self {
+        // An empty set is trivially sorted; starting with the cache valid
+        // keeps `new()` and `with_capacity()` indistinguishable (PartialEq
+        // compares the flag) and costs nothing — `record` clears it.
+        Samples {
+            values: Vec::new(),
+            sum: 0.0,
+            sorted: true,
+            unsorted_queries: 0,
+        }
+    }
 }
 
 impl PartialEq for Samples {
@@ -59,6 +79,7 @@ impl Samples {
     pub fn with_capacity(capacity: usize) -> Self {
         Samples {
             values: Vec::with_capacity(capacity),
+            sum: 0.0,
             sorted: true,
             unsorted_queries: 0,
         }
@@ -71,6 +92,7 @@ impl Samples {
     pub fn record(&mut self, value: f64) {
         assert!(!value.is_nan(), "NaN sample recorded");
         self.values.push(value);
+        self.sum += value;
         self.sorted = false;
         self.unsorted_queries = 0;
     }
@@ -85,17 +107,46 @@ impl Samples {
         self.values.is_empty()
     }
 
-    /// Arithmetic mean, or 0.0 when empty.
+    /// Arithmetic mean, or 0.0 when empty. Computed from the running
+    /// insertion-order sum, so the result is independent of how quantile
+    /// queries have reordered the underlying storage.
     pub fn mean(&self) -> f64 {
         if self.values.is_empty() {
             return 0.0;
         }
-        self.values.iter().sum::<f64>() / self.values.len() as f64
+        self.sum / self.values.len() as f64
     }
 
-    /// Largest observation, or 0.0 when empty.
+    /// Largest observation, or 0.0 when empty (matching the empty-set
+    /// convention of [`Samples::mean`] and [`Samples::percentile`]).
+    ///
+    /// Folding from 0.0 would conflate "empty" with "max is 0" *and*
+    /// return the wrong answer for all-negative data, so the empty case is
+    /// handled explicitly and the fold starts from `-inf`.
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(0.0, f64::max)
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Smallest observation, or 0.0 when empty. Equal to
+    /// `percentile(0.0)` (nearest-rank clamps the rank to the first
+    /// element), but immutable and O(n) without touching the sort cache.
+    pub fn min(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Whether the values are currently held in cached sorted order (the
+    /// fast indexed-percentile path). Exposed so the differential oracle
+    /// can verify the cache is only ever set when the data really is
+    /// sorted, and that cache-preserving operations (merging an empty set)
+    /// do not clear it.
+    pub fn is_sorted_cached(&self) -> bool {
+        self.sorted
     }
 
     /// The `q`-quantile (`q` in `[0, 1]`) using nearest-rank interpolation.
@@ -149,6 +200,13 @@ impl Samples {
             return;
         }
         self.values.extend_from_slice(&other.values);
+        // Element-wise, not `self.sum += other.sum`: the running sum must
+        // equal a left fold over the observations in insertion order
+        // (f64 addition is not associative), exactly as if each had been
+        // `record`ed here.
+        for &v in &other.values {
+            self.sum += v;
+        }
         self.sorted = false;
         self.unsorted_queries = 0;
     }
@@ -436,6 +494,24 @@ mod tests {
     }
 
     #[test]
+    fn mean_is_independent_of_quantile_query_history() {
+        // Quantile queries reorder storage (selection, then a cached full
+        // sort); the mean must be bitwise identical before and after.
+        let vals = [0.1, 0.7, -3.3, 1e9, 2.6e-7, -0.4, 8.25];
+        let mut s: Samples = vals.into_iter().collect();
+        let before = s.mean();
+        s.percentile(0.5); // selection path reorders
+        assert_eq!(s.mean(), before);
+        for _ in 0..4 {
+            s.percentile(0.9); // cached path fully sorts
+        }
+        assert!(s.is_sorted_cached());
+        assert_eq!(s.mean(), before);
+        // And it equals the plain left fold in insertion order.
+        assert_eq!(before, vals.iter().sum::<f64>() / vals.len() as f64);
+    }
+
+    #[test]
     fn merge_of_empty_preserves_sort_cache() {
         let mut a: Samples = [2.0, 1.0, 3.0].into_iter().collect();
         // Force the cached-sort path, then merge an empty set.
@@ -471,6 +547,57 @@ mod tests {
             let b = cached.percentile(q); // indexed path
             assert_eq!(a, b, "q={q}");
         }
+    }
+
+    #[test]
+    fn max_handles_negative_and_empty_data() {
+        let s: Samples = [-5.0, -1.5, -9.0].into_iter().collect();
+        assert_eq!(s.max(), -1.5, "all-negative max must not be clamped to 0");
+        assert_eq!(s.min(), -9.0);
+        let empty = Samples::new();
+        assert_eq!(empty.max(), 0.0, "empty-set convention");
+        assert_eq!(empty.min(), 0.0, "empty-set convention");
+    }
+
+    #[test]
+    fn percentile_zero_is_the_minimum() {
+        // Nearest-rank at q=0.0: ceil(0·n)=0 clamps to rank 1 → the
+        // smallest observation, on both the selection and the cached path.
+        let mut one_shot: Samples = [4.0, -2.0, 7.0, 0.5].into_iter().collect();
+        assert_eq!(one_shot.percentile(0.0), -2.0);
+        let mut cached: Samples = [4.0, -2.0, 7.0, 0.5].into_iter().collect();
+        for _ in 0..4 {
+            cached.percentile(0.5);
+        }
+        assert!(cached.is_sorted_cached());
+        assert_eq!(cached.percentile(0.0), -2.0);
+        assert_eq!(one_shot.percentile(0.0), one_shot.min());
+    }
+
+    #[test]
+    fn constructors_agree_on_empty_state() {
+        // `with_capacity` marks the (empty) set sorted; `new`/`default`
+        // must agree or two empty sets compare unequal.
+        let a = Samples::new();
+        let b = Samples::with_capacity(64);
+        assert_eq!(a, b);
+        assert!(a.is_sorted_cached() && b.is_sorted_cached());
+    }
+
+    #[test]
+    fn record_and_merge_clear_with_capacity_sort_flag() {
+        // The `sorted: true` initialization is only valid while empty;
+        // any data arriving through record or merge must clear it.
+        let mut s = Samples::with_capacity(8);
+        s.record(2.0);
+        s.record(1.0);
+        assert!(!s.is_sorted_cached());
+        assert_eq!(s.percentile(0.0), 1.0);
+
+        let mut m = Samples::with_capacity(8);
+        m.merge(&[3.0, -1.0].into_iter().collect());
+        assert!(!m.is_sorted_cached(), "merged data is not known sorted");
+        assert_eq!(m.percentile(1.0), 3.0);
     }
 
     #[test]

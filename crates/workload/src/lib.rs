@@ -22,6 +22,7 @@
 
 mod batch;
 mod loadgen;
+pub mod record;
 mod request;
 mod service;
 mod stream;
@@ -29,6 +30,7 @@ pub mod trace;
 
 pub use batch::{BatchCatalog, BatchJob};
 pub use loadgen::LoadGen;
+pub use record::{OpTrace, RecordedOp};
 pub use request::{Phase, RequestPlan};
 pub use service::{CatalogKind, ServiceCatalog, ServiceId, ServiceProfile};
 pub use stream::{PhaseStream, StreamSpec};
