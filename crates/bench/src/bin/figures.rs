@@ -5,11 +5,13 @@
 //! HH_SCALE=paper figures        # full evaluation scale (slow)
 //! HH_SCALE=mini figures fig11   # smallest smoke scale
 //! HH_OUT=results figures        # additionally write results/<id>.txt
+//! HH_TRACE=out.json figures     # also export a Perfetto trace + metrics
 //! ```
 
-use hh_bench::{run_figure, scale_from_env, ALL_FIGURES};
+use hh_bench::{export_trace, run_figure, scale_from_env, ALL_FIGURES};
 
 fn main() {
+    let trace_path = hh_trace::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let ids: Vec<&str> = if args.is_empty() {
         ALL_FIGURES.to_vec()
@@ -35,5 +37,10 @@ fn main() {
             std::fs::write(&path, &report).expect("write figure report");
         }
         eprintln!("# {id} took {:.1}s", started.elapsed().as_secs_f64());
+    }
+    if let Some(path) = trace_path {
+        let summary = export_trace(&path).expect("write HH_TRACE exports");
+        eprint!("{summary}");
+        eprintln!("# trace: {path} (+ {path}.metrics.jsonl)");
     }
 }

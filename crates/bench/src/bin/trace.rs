@@ -1,0 +1,81 @@
+//! Runs figures with tracing force-enabled and exports the trace.
+//!
+//! ```text
+//! trace                         # trace fig11 → hh-trace.json
+//! trace --out t.json fig4 fig11 # choose output path and figures
+//! trace --summary               # also print the aggregate metric table
+//! trace --validate              # re-parse the Perfetto output, exit 1 on
+//!                               # shape errors (used by CI)
+//! HH_SCALE=mini trace           # scales exactly like the figures binary
+//! ```
+//!
+//! Unlike `figures` — which only traces when `HH_TRACE=<path>` is set —
+//! this binary always traces; `--out` (default `hh-trace.json`) plays the
+//! role of the `HH_TRACE` path.
+
+use hh_bench::{run_figure, scale_from_env, ALL_FIGURES};
+use hh_trace::export::{metrics_jsonl, perfetto_json, summary_table, validate_perfetto};
+
+fn main() {
+    let mut out = String::from("hh-trace.json");
+    let mut want_summary = false;
+    let mut want_validate = false;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--summary" => want_summary = true,
+            "--validate" => want_validate = true,
+            "--help" | "-h" => {
+                eprintln!("usage: trace [--out PATH] [--summary] [--validate] [fig-id ...]");
+                eprintln!("figures: {}", ALL_FIGURES.join(" "));
+                return;
+            }
+            other => ids.push(other.to_owned()),
+        }
+    }
+    if ids.is_empty() {
+        ids.push("fig11".to_owned());
+    }
+
+    hh_trace::set_enabled(true);
+    let ex = scale_from_env();
+    eprintln!(
+        "# scale: {} servers, {} req/VM, {} rps/VM",
+        ex.scale.servers, ex.scale.requests_per_vm, ex.scale.rps_per_vm
+    );
+    for id in &ids {
+        println!("\n===== {id} =====");
+        println!("{}", run_figure(&ex, id));
+    }
+
+    let sessions = hh_trace::take_sessions();
+    let exec = hh_trace::exec::take();
+    let text = perfetto_json(&sessions, &exec);
+    std::fs::write(&out, &text).expect("write Perfetto trace");
+    let metrics_path = format!("{out}.metrics.jsonl");
+    std::fs::write(&metrics_path, metrics_jsonl(&sessions, &exec)).expect("write metrics JSONL");
+    eprintln!("# trace: {out} (+ {metrics_path})");
+
+    if want_validate {
+        match validate_perfetto(&text) {
+            Ok(report) => eprintln!(
+                "# validated: {} events ({} spans, {} instants, {} counters, {} metadata) across {} processes",
+                report.events,
+                report.complete,
+                report.instants,
+                report.counters,
+                report.metadata,
+                report.pids
+            ),
+            Err(e) => {
+                eprintln!("# INVALID Perfetto trace: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if want_summary {
+        print!("{}", summary_table(&sessions, &exec));
+    }
+}

@@ -141,6 +141,23 @@ pub fn run_figure(ex: &Experiments, id: &str) -> String {
     }
 }
 
+/// Drains every collected trace session plus the executor trace and writes
+/// the exports: Perfetto `trace_event` JSON at `path` and a JSONL metrics
+/// snapshot at `<path>.metrics.jsonl`. Returns the human summary table.
+///
+/// # Errors
+/// Propagates I/O errors from writing either file.
+pub fn export_trace(path: &str) -> std::io::Result<String> {
+    let sessions = hh_trace::take_sessions();
+    let exec = hh_trace::exec::take();
+    std::fs::write(path, hh_trace::export::perfetto_json(&sessions, &exec))?;
+    std::fs::write(
+        format!("{path}.metrics.jsonl"),
+        hh_trace::export::metrics_jsonl(&sessions, &exec),
+    )?;
+    Ok(hh_trace::export::summary_table(&sessions, &exec))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -125,7 +125,13 @@ impl RunPlan {
                     Ok(job) => job,
                     Err(_) => break, // executor dropped
                 };
-                job();
+                if hh_trace::enabled() {
+                    hh_trace::exec::worker_begin();
+                    job();
+                    hh_trace::exec::worker_end();
+                } else {
+                    job();
+                }
             });
         }
         RunPlan {
@@ -174,18 +180,32 @@ impl RunPlan {
         seed: u64,
         tweak: impl Fn(&mut ServerConfig),
     ) -> ClusterMetrics {
+        let traced = hh_trace::enabled();
+        let t0 = if traced { hh_trace::exec::wall_us() } else { 0.0 };
         let configs = resolved_configs(system, scale, seed, tweak);
         let (hash, full_key) = memo_key(system, &configs);
         let cell = self.memo.cell(hash, &full_key);
         if let Some(hit) = cell.get() {
             self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            if traced {
+                hh_trace::exec::record_span(cluster_span_label(system, seed), t0, true);
+            }
             return hit.clone();
         }
-        cell.get_or_init(|| {
-            self.sims_run.fetch_add(1, Ordering::Relaxed);
-            self.simulate(system, configs)
-        })
-        .clone()
+        let mut simulated = false;
+        let out = cell
+            .get_or_init(|| {
+                simulated = true;
+                self.sims_run.fetch_add(1, Ordering::Relaxed);
+                self.simulate(system, configs)
+            })
+            .clone();
+        if traced {
+            // A racing thread may have initialized the cell first; that
+            // still counts as a memo hit from this caller's perspective.
+            hh_trace::exec::record_span(cluster_span_label(system, seed), t0, !simulated);
+        }
+        out
     }
 
     /// Runs (or recalls) a cluster with stock Table 1 knobs.
@@ -199,11 +219,17 @@ impl RunPlan {
     fn simulate(&self, system: SystemSpec, configs: Vec<ServerConfig>) -> ClusterMetrics {
         let n = configs.len();
         let (tx, rx) = mpsc::channel::<(usize, ServerMetrics)>();
+        let sys_name = system.name;
         for (i, cfg) in configs.into_iter().enumerate() {
             let tx = tx.clone();
             self.queue
                 .send(Box::new(move || {
+                    let traced = hh_trace::enabled();
+                    let t0 = if traced { hh_trace::exec::wall_us() } else { 0.0 };
                     let metrics = ServerSim::new(cfg).run();
+                    if traced {
+                        hh_trace::exec::record_span(format!("{sys_name}#{i}"), t0, false);
+                    }
                     // The receiver only disappears if this run was abandoned
                     // (caller panicked); nothing left to report then.
                     let _ = tx.send((i, metrics));
@@ -223,6 +249,11 @@ impl RunPlan {
                 .collect(),
         }
     }
+}
+
+/// Label of a cluster-level executor span: system plus request seed.
+fn cluster_span_label(system: SystemSpec, seed: u64) -> String {
+    format!("{} seed={seed:#x}", system.name)
 }
 
 /// Resolves the per-server configurations of one cluster run, applying the

@@ -80,6 +80,10 @@ pub struct Subqueue {
     overflow_served: u64,
     /// Peak hardware occupancy observed.
     peak_occupancy: usize,
+    /// Total enqueues since creation.
+    enqueued_total: u64,
+    /// Enqueues that landed in the overflow subqueue (hardware full).
+    overflowed: u64,
 }
 
 impl Subqueue {
@@ -96,6 +100,8 @@ impl Subqueue {
             entries_per_chunk,
             overflow_served: 0,
             peak_occupancy: 0,
+            enqueued_total: 0,
+            overflowed: 0,
         }
     }
 
@@ -162,6 +168,16 @@ impl Subqueue {
         self.overflow_served
     }
 
+    /// Total enqueues since creation.
+    pub fn enqueued_total(&self) -> u64 {
+        self.enqueued_total
+    }
+
+    /// Enqueues that spilled to the overflow subqueue (hardware full).
+    pub fn overflowed(&self) -> u64 {
+        self.overflowed
+    }
+
     /// Enqueues a ready request.
     pub fn enqueue(&mut self, token: u64, now: Cycles) -> EnqueueOutcome {
         let slot = Slot {
@@ -169,12 +185,14 @@ impl Subqueue {
             arrival: now,
             status: Status::Ready,
         };
+        self.enqueued_total += 1;
         if self.slots.len() < self.capacity() {
             self.slots.push(slot);
             self.peak_occupancy = self.peak_occupancy.max(self.slots.len());
             EnqueueOutcome::Hardware
         } else {
             self.overflow.push_back(slot);
+            self.overflowed += 1;
             EnqueueOutcome::Overflow
         }
     }
@@ -472,6 +490,22 @@ mod tests {
         s.add_chunks(2);
         check(&s);
         assert_eq!(s.ready_arrivals().len(), s.ready_len());
+    }
+
+    #[test]
+    fn enqueue_counters_split_hardware_and_overflow() {
+        let mut s = q(1); // 4 hardware slots
+        for t in 0..6 {
+            s.enqueue(t, Cycles::ZERO);
+        }
+        assert_eq!(s.enqueued_total(), 6);
+        assert_eq!(s.overflowed(), 2);
+        // Draining does not disturb the enqueue-side counters.
+        while let Some((t, _, _)) = s.dequeue_ready() {
+            s.complete(t);
+        }
+        assert_eq!(s.enqueued_total(), 6);
+        assert_eq!(s.overflowed(), 2);
     }
 
     #[test]

@@ -20,6 +20,31 @@ pub enum Visibility {
     Harvest,
 }
 
+/// L2 hit/miss counts split by executing-context visibility: harvest-VM
+/// references vs. primary-VM references (the paper's Figure 14 axis).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct VisSplit {
+    /// L2 hits under `Visibility::Primary` / `PrimaryFlushPending`.
+    pub primary_hits: u64,
+    /// L2 misses under `Visibility::Primary` / `PrimaryFlushPending`.
+    pub primary_misses: u64,
+    /// L2 hits under `Visibility::Harvest`.
+    pub harvest_hits: u64,
+    /// L2 misses under `Visibility::Harvest`.
+    pub harvest_misses: u64,
+}
+
+/// Flush activity of one private hierarchy.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FlushStats {
+    /// Whole-hierarchy invalidations ([`CoreMem::flush_all`]).
+    pub full_flushes: u64,
+    /// Harvest-region invalidations ([`CoreMem::flush_harvest_region`]).
+    pub region_flushes: u64,
+    /// Total entries dropped across both kinds.
+    pub lines_dropped: u64,
+}
+
 /// The cost of one memory reference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AccessCost {
@@ -139,6 +164,10 @@ pub struct CoreMem {
     /// Outstanding-miss slots (busy-until horizons) when MSHR modeling is
     /// enabled.
     mshr_busy: Option<Vec<Cycles>>,
+    /// L2 hit/miss counts split by executing-context visibility.
+    l2_split: VisSplit,
+    /// Flush activity counters.
+    flushes: FlushStats,
 }
 
 impl CoreMem {
@@ -163,6 +192,8 @@ impl CoreMem {
             infinite: false,
             dram_weight: 1.0,
             mshr_busy: config.mshrs.map(|n| vec![Cycles::ZERO; n.max(1)]),
+            l2_split: VisSplit::default(),
+            flushes: FlushStats::default(),
         }
     }
 
@@ -275,7 +306,15 @@ impl CoreMem {
             latency += l1_cfg.hit_cycles;
         } else {
             let l2_allowed = self.allowed(&self.l2, vis);
-            if self.l2.access(line, shared, l2_allowed, write).hit {
+            let l2_hit = self.l2.access(line, shared, l2_allowed, write).hit;
+            let harvest = vis == Visibility::Harvest;
+            match (harvest, l2_hit) {
+                (false, true) => self.l2_split.primary_hits += 1,
+                (false, false) => self.l2_split.primary_misses += 1,
+                (true, true) => self.l2_split.harvest_hits += 1,
+                (true, false) => self.l2_split.harvest_misses += 1,
+            }
+            if l2_hit {
                 latency += self.config.l2.hit_cycles;
             } else {
                 // Past the L2: when MSHR modeling is on, the miss must
@@ -316,11 +355,14 @@ impl CoreMem {
     /// Flushes and invalidates every private structure (software-style
     /// cross-VM switch). Returns the number of entries dropped.
     pub fn flush_all(&mut self) -> u64 {
-        self.l1i.invalidate_all()
+        let dropped = self.l1i.invalidate_all()
             + self.l1d.invalidate_all()
             + self.l2.invalidate_all()
             + self.l1_tlb.invalidate_all()
-            + self.l2_tlb.invalidate_all()
+            + self.l2_tlb.invalidate_all();
+        self.flushes.full_flushes += 1;
+        self.flushes.lines_dropped += dropped;
+        dropped
     }
 
     /// Flushes and invalidates only the harvest regions (HardHarvest
@@ -337,7 +379,19 @@ impl CoreMem {
             let mask = c.harvest_mask();
             dropped += c.invalidate_ways(mask);
         }
+        self.flushes.region_flushes += 1;
+        self.flushes.lines_dropped += dropped;
         dropped
+    }
+
+    /// L2 hit/miss counts split by harvest vs. primary visibility.
+    pub fn l2_split(&self) -> VisSplit {
+        self.l2_split
+    }
+
+    /// Flush activity since construction (or the last stats reset).
+    pub fn flush_stats(&self) -> FlushStats {
+        self.flushes
     }
 
     /// Statistics of the unified L2 (the structure Figure 14 reports).
@@ -361,6 +415,8 @@ impl CoreMem {
         ] {
             c.reset_stats();
         }
+        self.l2_split = VisSplit::default();
+        self.flushes = FlushStats::default();
     }
 
     /// Immutable access to the L2 (tests and labs).
@@ -576,6 +632,46 @@ mod tests {
         let c3 = core.access(Cycles::ZERO, a, Visibility::Primary, &mut llc, &mut dram);
         assert!(!c3.dram);
         assert!(c3.stall < Cycles::new(10));
+    }
+
+    #[test]
+    fn l2_split_attributes_by_visibility() {
+        let (mut core, mut llc, mut dram) = setup();
+        let a = read(0, 0x7000);
+        // Cold primary access misses L2; a repeat hits it.
+        core.access(Cycles::ZERO, a, Visibility::Primary, &mut llc, &mut dram);
+        // Evict from L1 view? Simplest: the second identical access hits
+        // L1, never reaching L2 — so drive the L2 with fresh lines instead.
+        let b = read(0, 0x7000 + 64 * 4096);
+        core.access(Cycles::ZERO, b, Visibility::Harvest, &mut llc, &mut dram);
+        let split = core.l2_split();
+        assert_eq!(split.primary_misses, 1);
+        assert_eq!(split.harvest_misses, 1);
+        assert_eq!(split.primary_hits + split.harvest_hits, 0);
+        // Totals must agree with the L2's own accounting.
+        let l2 = core.l2_stats();
+        assert_eq!(
+            l2.hits + l2.misses,
+            split.primary_hits + split.primary_misses + split.harvest_hits + split.harvest_misses
+        );
+    }
+
+    #[test]
+    fn flush_stats_count_kinds_and_lines() {
+        let (mut core, mut llc, mut dram) = setup();
+        for i in 0..8 {
+            let a = read(0, 0x9000 + i * 64);
+            core.access(Cycles::ZERO, a, Visibility::Primary, &mut llc, &mut dram);
+        }
+        let dropped_region = core.flush_harvest_region();
+        let dropped_full = core.flush_all();
+        let fs = core.flush_stats();
+        assert_eq!(fs.region_flushes, 1);
+        assert_eq!(fs.full_flushes, 1);
+        assert_eq!(fs.lines_dropped, dropped_region + dropped_full);
+        core.reset_stats();
+        assert_eq!(core.flush_stats(), FlushStats::default());
+        assert_eq!(core.l2_split(), VisSplit::default());
     }
 
     #[test]

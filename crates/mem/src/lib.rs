@@ -37,6 +37,6 @@ pub use cache::{AccessOutcome, BatchOutcome, BatchRef, CacheStats, SetAssocCache
 pub use config::{CacheConfig, HierarchyConfig, LlcConfig, TlbConfig};
 pub use dram::{Dram, DramConfig};
 pub use flush::FlushModel;
-pub use hierarchy::{AccessCost, CoreMem, Llc, Visibility};
+pub use hierarchy::{AccessCost, CoreMem, FlushStats, Llc, VisSplit, Visibility};
 pub use policy::PolicyKind;
 pub use waymask::WayMask;

@@ -7,6 +7,8 @@ use hh_mem::{CoreMem, Dram, Llc, PolicyKind, Visibility};
 use hh_noc::{ControlTree, Mesh2D};
 use hh_sim::invariant::{invariant, InvariantSet, InvariantViolation};
 use hh_sim::{CoreId, Cycles, EventQueue, Rng64, VmId};
+use hh_trace::{trace_event, trace_gauge, trace_hist};
+use hh_trace::{FlushScope, ReassignKind, TraceEvent, TraceSession, NO_INDEX};
 use hh_workload::{BatchCatalog, BatchJob, LoadGen, RequestPlan, ServiceCatalog, ServiceId};
 
 
@@ -152,6 +154,9 @@ pub struct ServerSim {
     metrics: ServerMetrics,
     total_requests: u64,
     completed: u64,
+    /// Structured tracing session; `None` (one branch per site) unless
+    /// tracing is enabled process-wide (`HH_TRACE`, see `hh-trace`).
+    trace: Option<Box<TraceSession>>,
 }
 
 impl ServerSim {
@@ -252,6 +257,12 @@ impl ServerSim {
 
         let total_requests = (cfg.requests_per_vm * n_primary) as u64;
         let metrics = ServerMetrics::new(cfg.system.name, catalog.len());
+        let trace = hh_trace::enabled().then(|| {
+            Box::new(TraceSession::new(format!(
+                "{}/seed={:#x}",
+                cfg.system.name, cfg.seed
+            )))
+        });
         ServerSim {
             catalog,
             job,
@@ -280,6 +291,7 @@ impl ServerSim {
             metrics,
             total_requests,
             completed: 0,
+            trace,
             cfg,
         }
     }
@@ -324,17 +336,10 @@ impl ServerSim {
         // Pure runaway backstop: real runs use a few million events; only a
         // scheduling livelock could approach this.
         let mut budget: u64 = 500_000_000;
-        let trace = std::env::var_os("HH_TRACE").is_some();
         while let Some((t, ev)) = self.events.pop() {
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
             budget -= 1;
-            if trace {
-                eprintln!(
-                    "[trace] t={} budget={} done={}/{} ev={:?}",
-                    self.now, budget, self.completed, self.total_requests, ev
-                );
-            }
             if budget == 0 {
                 panic!(
                     "event budget exhausted at {} with {}/{} done; queues: {:?}; cores: {:?}",
@@ -351,6 +356,7 @@ impl ServerSim {
             #[cfg(debug_assertions)]
             if budget % 4096 == 0 {
                 if let Err(v) = self.check_invariants() {
+                    self.report_invariant_violation(&v);
                     panic!("at {}: {v}", self.now);
                 }
             }
@@ -373,7 +379,112 @@ impl ServerSim {
             self.metrics.l2_hits += s.hits;
             self.metrics.l2_misses += s.misses;
         }
+        self.finish_trace();
         self.metrics
+    }
+
+    /// Records a structured report of a failed invariant check and ships
+    /// the session to the collector so the evidence survives the ensuing
+    /// panic.
+    #[cfg(debug_assertions)]
+    fn report_invariant_violation(&mut self, v: &InvariantViolation) {
+        if let Some(mut t) = self.trace.take() {
+            t.record(TraceEvent::InvariantViolation {
+                t: self.now,
+                message: v.to_string(),
+            });
+            hh_trace::submit(t.finish(self.now));
+        }
+    }
+
+    /// Harvests the leaf crates' intrinsic counters into the session
+    /// registry, attaches the metrics summary, and submits the session.
+    fn finish_trace(&mut self) {
+        let Some(mut t) = self.trace.take() else { return };
+        let mut split = hh_mem::VisSplit::default();
+        let mut flushes = hh_mem::FlushStats::default();
+        for mem in &self.mems {
+            let s = mem.l2_split();
+            split.primary_hits += s.primary_hits;
+            split.primary_misses += s.primary_misses;
+            split.harvest_hits += s.harvest_hits;
+            split.harvest_misses += s.harvest_misses;
+            let f = mem.flush_stats();
+            flushes.full_flushes += f.full_flushes;
+            flushes.region_flushes += f.region_flushes;
+            flushes.lines_dropped += f.lines_dropped;
+        }
+        t.count("mem.l2_hits_primary", split.primary_hits);
+        t.count("mem.l2_misses_primary", split.primary_misses);
+        t.count("mem.l2_hits_harvest", split.harvest_hits);
+        t.count("mem.l2_misses_harvest", split.harvest_misses);
+        t.count("mem.flushes_full", flushes.full_flushes);
+        t.count("mem.flushes_region", flushes.region_flushes);
+        t.count("mem.flush_lines_dropped", flushes.lines_dropped);
+        for vm in 0..=self.cfg.primary_vms {
+            let q = self.ctrl.qm(VmId::from(vm)).queue();
+            t.count("hwqueue.enqueued", q.enqueued_total());
+            t.count("hwqueue.overflowed", q.overflowed());
+            t.count("hwqueue.overflow_served", q.overflow_served());
+        }
+        t.count("server.requests_completed", self.completed);
+        t.count("server.reassignments", self.metrics.reassignments);
+        t.count("server.reclaims", self.metrics.reclaims);
+        t.count("server.batch_units", self.metrics.batch_units);
+        t.count("server.queue_overflows", self.metrics.queue_overflows);
+        t.set_summary_json(self.metrics.summary().to_json());
+        hh_trace::submit(t.finish(self.now));
+    }
+
+    /// Adjusts the busy-core level, mirroring it onto the trace gauge.
+    fn busy_add(&mut self, delta: f64) {
+        self.metrics.busy_cores.add(self.now, delta);
+        if self.trace.is_some() {
+            let now = self.now;
+            let level = self.metrics.busy_cores.level();
+            trace_gauge!(self.trace, "server.busy_cores", NO_INDEX, now, level);
+        }
+    }
+
+    /// Records a flush span plus the cache-epoch marker for `core`.
+    fn note_flush(&mut self, core: usize, scope: FlushScope, dur: Cycles, background: bool, dropped: u64) {
+        if self.trace.is_none() {
+            return;
+        }
+        let now = self.now;
+        let stats = self.mems[core].flush_stats();
+        let epoch = stats.full_flushes + stats.region_flushes;
+        trace_event!(
+            self.trace,
+            TraceEvent::FlushSpan {
+                start: now,
+                dur,
+                core: core as u32,
+                scope,
+                background,
+                dropped_lines: dropped,
+            }
+        );
+        trace_event!(
+            self.trace,
+            TraceEvent::CacheEpoch { t: now, core: core as u32, epoch, dropped_lines: dropped }
+        );
+    }
+
+    /// Records a reassignment marker plus its blocking-window span.
+    fn note_reassign(&mut self, core: usize, kind: ReassignKind, block: Cycles) {
+        if self.trace.is_none() {
+            return;
+        }
+        let now = self.now;
+        trace_event!(
+            self.trace,
+            TraceEvent::Reassign { t: now, core: core as u32, kind, cost: block }
+        );
+        trace_event!(
+            self.trace,
+            TraceEvent::TransitionSpan { start: now, dur: block, core: core as u32, kind }
+        );
     }
 
     fn schedule_next_arrival(&mut self, vm: usize) {
@@ -439,9 +550,28 @@ impl ServerSim {
                 flush_wait: Cycles::ZERO,
             },
         );
-        match self.ctrl.enqueue(VmId::from(vm), token, self.now) {
-            EnqueueOutcome::Overflow => self.metrics.queue_overflows += 1,
-            EnqueueOutcome::Hardware => {}
+        let outcome = self.ctrl.enqueue(VmId::from(vm), token, self.now);
+        if outcome == EnqueueOutcome::Overflow {
+            self.metrics.queue_overflows += 1;
+        }
+        if self.trace.is_some() {
+            let now = self.now;
+            let depth = self.ctrl.qm(VmId::from(vm)).queue().ready_len() as u32;
+            trace_event!(
+                self.trace,
+                TraceEvent::RequestArrival { t: now, vm: vm as u32, token }
+            );
+            trace_event!(
+                self.trace,
+                TraceEvent::Enqueue {
+                    t: now,
+                    vm: vm as u32,
+                    token,
+                    depth,
+                    overflow: outcome == EnqueueOutcome::Overflow,
+                }
+            );
+            trace_gauge!(self.trace, "hwqueue.ready_depth", vm as u32, now, depth as f64);
         }
         self.try_serve(vm);
     }
@@ -596,6 +726,15 @@ impl ServerSim {
 
     /// Places `token`'s current phase on an idle `core` of the same VM.
     fn dispatch(&mut self, core: usize, vm: usize, token: u64, reassign: Cycles, flush: Cycles) {
+        if self.trace.is_some() {
+            let now = self.now;
+            let depth = self.ctrl.qm(VmId::from(vm)).queue().ready_len() as u32;
+            trace_event!(
+                self.trace,
+                TraceEvent::Dispatch { t: now, vm: vm as u32, core: core as u32, token, depth }
+            );
+            trace_gauge!(self.trace, "hwqueue.ready_depth", vm as u32, now, depth as f64);
+        }
         let mut overhead = self.dispatch_overhead(core, vm);
         // vCPUs stalled by an in-flight hypervisor detach/attach cannot
         // pick up work until the lock is released.
@@ -641,7 +780,20 @@ impl ServerSim {
         c.temp_for = c.temp_for.filter(|_| true); // unchanged
         c.gen += 1;
         let gen = c.gen;
-        self.metrics.busy_cores.add(self.now, 1.0);
+        self.busy_add(1.0);
+        if self.trace.is_some() {
+            let now = self.now;
+            trace_event!(
+                self.trace,
+                TraceEvent::PhaseSpan {
+                    start: now,
+                    dur: lead + duration,
+                    core: core as u32,
+                    vm: vm as u32,
+                    token,
+                }
+            );
+        }
         self.events
             .push(self.now + lead + duration, Ev::PhaseDone { core, gen });
     }
@@ -671,7 +823,7 @@ impl ServerSim {
             Run::Req { token } => token,
             _ => unreachable!("phase-done on non-request core"),
         };
-        self.metrics.busy_cores.add(self.now, -1.0);
+        self.busy_add(-1.0);
         let vm = self.requests[&token].plan.vm.index();
         let io_after = {
             let req = &self.requests[&token];
@@ -688,6 +840,13 @@ impl ServerSim {
                 // The adaptive policy learns each VM's typical block length.
                 let e = &mut self.ewma_block_us[vm];
                 *e = 0.8 * *e + 0.2 * io.as_us();
+                if self.trace.is_some() {
+                    let now = self.now;
+                    trace_event!(
+                        self.trace,
+                        TraceEvent::RequestBlocked { t: now, core: core as u32, token, io }
+                    );
+                }
                 self.events.push(self.now + io, Ev::IoDone { vm, token });
                 self.core_idle(core, IdleReason::Blocked);
             }
@@ -695,9 +854,23 @@ impl ServerSim {
                 let req = self.requests.remove(&token).expect("live request");
                 self.ctrl.qm_mut(VmId::from(vm)).complete(token);
                 self.completed += 1;
+                let latency = self.now - req.arrival;
+                if self.trace.is_some() {
+                    let now = self.now;
+                    trace_event!(
+                        self.trace,
+                        TraceEvent::RequestComplete {
+                            t: now,
+                            vm: vm as u32,
+                            core: core as u32,
+                            token,
+                            latency,
+                        }
+                    );
+                    trace_hist!(self.trace, "server.latency_us", latency.as_us());
+                }
                 let svc = &mut self.metrics.services[req.plan.service.index()];
-                svc.latency_ms
-                    .record((self.now - req.arrival).as_ms());
+                svc.latency_ms.record(latency.as_ms());
                 svc.exec += req.exec;
                 svc.io += req.io;
                 svc.reassign_wait += req.reassign_wait;
@@ -840,7 +1013,8 @@ impl ServerSim {
                     let full = self.cfg.flush.software(&mut self.rng);
                     Cycles::new((full.as_u64() as f64 * self.cfg.harvest_frac) as u64)
                 };
-                self.mems[core].flush_harvest_region();
+                let dropped = self.mems[core].flush_harvest_region();
+                self.note_flush(core, FlushScope::HarvestRegion, f, !to_harvest, dropped);
                 if to_harvest {
                     // Harvest may not start until the worst-case flush
                     // window elapses (timing side channel, Section 4.2.1).
@@ -857,7 +1031,8 @@ impl ServerSim {
                 } else {
                     self.cfg.flush.software(&mut self.rng)
                 };
-                self.mems[core].flush_all();
+                let dropped = self.mems[core].flush_all();
+                self.note_flush(core, FlushScope::Full, f, false, dropped);
                 cost.flush_part = f;
                 cost.block += f;
             }
@@ -870,6 +1045,7 @@ impl ServerSim {
         let bound = self.cores[core].bound;
         debug_assert_ne!(bound, self.harvest_vm());
         let cost = self.switch_cost(core, true);
+        self.note_reassign(core, ReassignKind::Lend, cost.block);
         self.pause_vm_for_hypervisor(bound);
         self.ctrl
             .qm_mut(VmId::from(bound))
@@ -897,6 +1073,11 @@ impl ServerSim {
         self.metrics.reassignments += 1;
         self.metrics.reclaims += 1;
         let cost = self.switch_cost(core, false);
+        self.note_reassign(core, ReassignKind::Reclaim, cost.block + cost.flush_part);
+        if self.trace.is_some() {
+            let us = (cost.block + cost.flush_part).as_us();
+            trace_hist!(self.trace, "server.reclaim_latency_us", us);
+        }
         let c = &mut self.cores[core];
         c.resident = Some(vm);
         c.hidden_until = self.now + cost.block + cost.hidden;
@@ -928,6 +1109,7 @@ impl ServerSim {
                 l.opt_ctxt
             };
         self.metrics.reassignments += 1;
+        self.note_reassign(core, ReassignKind::BufferAttach, block);
         let c = &mut self.cores[core];
         c.in_buffer = false;
         c.temp_for = Some(vm);
@@ -961,8 +1143,11 @@ impl ServerSim {
                 .reclaim_core(CoreId::from(core));
         }
         let l = self.cfg.latency;
-        let block = l.opt_detach_attach + self.cfg.flush.software(&mut self.rng);
-        self.mems[core].flush_all();
+        let flush = self.cfg.flush.software(&mut self.rng);
+        let block = l.opt_detach_attach + flush;
+        let dropped = self.mems[core].flush_all();
+        self.note_flush(core, FlushScope::Full, flush, false, dropped);
+        self.note_reassign(core, ReassignKind::ReturnToBuffer, block);
         let c = &mut self.cores[core];
         c.temp_for = None;
         c.resident = None;
@@ -1059,12 +1244,19 @@ impl ServerSim {
         c.run = Run::Unit { end };
         c.gen += 1;
         let gen = c.gen;
-        self.metrics.busy_cores.add(self.now, 1.0);
+        self.busy_add(1.0);
+        if self.trace.is_some() {
+            let now = self.now;
+            trace_event!(
+                self.trace,
+                TraceEvent::UnitSpan { start: now, dur: lead + duration, core: core as u32 }
+            );
+        }
         self.events.push(end, Ev::UnitDone { core, gen });
     }
 
     fn on_unit_done(&mut self, core: usize) {
-        self.metrics.busy_cores.add(self.now, -1.0);
+        self.busy_add(-1.0);
         self.active_units = self.active_units.saturating_sub(1);
         self.metrics.batch_units += 1;
         // Between units, honour a pending reclaim by the owner VM — the
@@ -1097,7 +1289,7 @@ impl ServerSim {
             if end > self.now {
                 self.partial_units.push(end - self.now);
             }
-            self.metrics.busy_cores.add(self.now, -1.0);
+            self.busy_add(-1.0);
             self.active_units = self.active_units.saturating_sub(1);
         }
         self.cores[core].gen += 1;

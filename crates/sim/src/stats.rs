@@ -654,6 +654,56 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "time went backwards")]
+    fn time_weighted_rejects_out_of_order_updates() {
+        let mut u = TimeWeighted::new();
+        u.set(Cycles::new(100), 1.0);
+        u.set(Cycles::new(50), 2.0);
+    }
+
+    #[test]
+    fn time_weighted_zero_duration_update_keeps_integral() {
+        // Two changes at the same instant: the first contributes nothing
+        // to the integral; only the latest level persists.
+        let mut u = TimeWeighted::new();
+        u.set(Cycles::new(0), 5.0);
+        u.set(Cycles::new(100), 1.0);
+        u.set(Cycles::new(100), 3.0); // zero-duration revision
+        assert_eq!(u.level(), 3.0);
+        // [0,100): 5.0, [100,200): 3.0 → avg 4.0; the transient 1.0 level
+        // held for zero cycles must not appear.
+        assert!((u.average(Cycles::new(200)) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_negative_levels_integrate() {
+        // `add` may legitimately drive the level through arbitrary values;
+        // the integral is signed.
+        let mut u = TimeWeighted::new();
+        u.add(Cycles::new(0), -2.0);
+        u.add(Cycles::new(100), 4.0); // level 2 from t=100
+        assert!((u.average(Cycles::new(200)) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bucket_edges() {
+        let mut h = Histogram::new(1.0, 1024.0, 10); // growth = 2 per bin
+        h.record(0.999); // below min → underflow
+        h.record(1.0); // exactly min → first bin
+        h.record(1024.0); // at max → clamped into range
+        h.record(1e12); // far overflow → clamped to last bin
+        assert_eq!(h.total(), 4);
+        // Underflow counts toward the CDF at min.
+        assert!(h.cdf_at(1.0) >= 0.25);
+        // Everything is at or below the top edge even after clamping.
+        assert_eq!(h.cdf_at(f64::INFINITY), 1.0);
+        // Quantiles never escape the configured range.
+        assert!(h.quantile(1.0) <= 1.0 * 2f64.powi(11));
+        assert!(h.quantile(0.0) >= 1.0);
+    }
+
+    #[test]
     fn summary_tracks_extremes() {
         let mut s = Summary::new();
         for v in [3.0, -1.0, 7.0] {

@@ -1,0 +1,228 @@
+//! Typed trace events.
+//!
+//! Every event carries simulated time in [`Cycles`]; the exporters convert
+//! to microseconds for Perfetto. Events are plain data — recording one never
+//! allocates except for the rare [`TraceEvent::InvariantViolation`].
+
+use hh_sim::Cycles;
+
+/// `index` value meaning "this gauge has no per-VM/per-core index".
+pub const NO_INDEX: u32 = u32::MAX;
+
+/// Which direction a core-reassignment transition moves a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReassignKind {
+    /// Primary VM lends an idle core to the harvest VM.
+    Lend,
+    /// Primary VM reclaims a harvested core (the paper's reclamation interrupt).
+    Reclaim,
+    /// Harvest VM attaches a buffer core.
+    BufferAttach,
+    /// A harvested core drains back to the buffer pool.
+    ReturnToBuffer,
+}
+
+impl ReassignKind {
+    /// Short lowercase label used in exported track names.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReassignKind::Lend => "lend",
+            ReassignKind::Reclaim => "reclaim",
+            ReassignKind::BufferAttach => "buffer-attach",
+            ReassignKind::ReturnToBuffer => "return-to-buffer",
+        }
+    }
+}
+
+/// Which part of a cache a flush covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushScope {
+    /// Only the harvest-visible region (HardHarvest's partitioned flush).
+    HarvestRegion,
+    /// The whole private hierarchy (software harvesting / buffer return).
+    Full,
+}
+
+impl FlushScope {
+    /// Short label used in exported span names.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlushScope::HarvestRegion => "harvest-region",
+            FlushScope::Full => "full",
+        }
+    }
+}
+
+/// One structured simulator event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A request entered the server (before queueing).
+    RequestArrival {
+        /// Arrival time.
+        t: Cycles,
+        /// Destination VM.
+        vm: u32,
+        /// Request token (unique within a run).
+        token: u64,
+    },
+    /// A request finished its last phase.
+    RequestComplete {
+        /// Completion time.
+        t: Cycles,
+        /// Owning VM.
+        vm: u32,
+        /// Core that ran the final phase.
+        core: u32,
+        /// Request token.
+        token: u64,
+        /// End-to-end latency (arrival to completion).
+        latency: Cycles,
+    },
+    /// A request blocked on I/O between phases.
+    RequestBlocked {
+        /// Block time.
+        t: Cycles,
+        /// Core the request was running on.
+        core: u32,
+        /// Request token.
+        token: u64,
+        /// I/O wait duration.
+        io: Cycles,
+    },
+    /// One compute phase occupying a core (complete span).
+    PhaseSpan {
+        /// Span start (includes dispatch lead-in).
+        start: Cycles,
+        /// Span duration.
+        dur: Cycles,
+        /// Core that ran it.
+        core: u32,
+        /// Owning VM.
+        vm: u32,
+        /// Request token.
+        token: u64,
+    },
+    /// One batch work unit occupying a harvested core.
+    UnitSpan {
+        /// Span start.
+        start: Cycles,
+        /// Span duration.
+        dur: Cycles,
+        /// Core that ran it.
+        core: u32,
+    },
+    /// Instant marker for a core changing hands.
+    Reassign {
+        /// Event time.
+        t: Cycles,
+        /// Core being moved.
+        core: u32,
+        /// Transition direction.
+        kind: ReassignKind,
+        /// Blocking cost charged on the critical path.
+        cost: Cycles,
+    },
+    /// The blocking window of a core transition (complete span).
+    TransitionSpan {
+        /// Span start.
+        start: Cycles,
+        /// Span duration (the blocking part of the switch cost).
+        dur: Cycles,
+        /// Core in transition.
+        core: u32,
+        /// Transition direction.
+        kind: ReassignKind,
+    },
+    /// A cache flush (complete span; `background` means off the critical path).
+    FlushSpan {
+        /// Span start.
+        start: Cycles,
+        /// Flush duration.
+        dur: Cycles,
+        /// Core whose hierarchy flushed.
+        core: u32,
+        /// Region flushed.
+        scope: FlushScope,
+        /// True when the flush overlaps execution (hidden cost).
+        background: bool,
+        /// Cache lines actually dropped.
+        dropped_lines: u64,
+    },
+    /// A core's harvest region was invalidated, starting a new cache epoch.
+    CacheEpoch {
+        /// Event time.
+        t: Cycles,
+        /// Core whose region was invalidated.
+        core: u32,
+        /// Monotonic per-core epoch number.
+        epoch: u64,
+        /// Lines dropped by the invalidation.
+        dropped_lines: u64,
+    },
+    /// A request token entered a subqueue.
+    Enqueue {
+        /// Event time.
+        t: Cycles,
+        /// Destination VM / subqueue.
+        vm: u32,
+        /// Request token.
+        token: u64,
+        /// Ready-queue depth after the enqueue.
+        depth: u32,
+        /// True when the hardware queue was full and the token spilled
+        /// to the memory overflow area.
+        overflow: bool,
+    },
+    /// The queue manager dispatched a token to a core.
+    Dispatch {
+        /// Event time.
+        t: Cycles,
+        /// Source VM / subqueue.
+        vm: u32,
+        /// Core receiving the token.
+        core: u32,
+        /// Request token.
+        token: u64,
+        /// Ready-queue depth after the dispatch.
+        depth: u32,
+    },
+    /// A time-weighted gauge changed value (exported as a counter track).
+    GaugeSample {
+        /// Event time.
+        t: Cycles,
+        /// Namespaced gauge name (e.g. `server.busy_cores`).
+        name: &'static str,
+        /// Per-VM/core index, or [`NO_INDEX`].
+        index: u32,
+        /// New gauge value.
+        value: f64,
+    },
+    /// A debug-mode invariant check failed (recorded just before panic).
+    InvariantViolation {
+        /// Event time.
+        t: Cycles,
+        /// Human-readable violation report.
+        message: String,
+    },
+}
+
+impl TraceEvent {
+    /// The event's (start) timestamp in simulated cycles.
+    pub fn timestamp(&self) -> Cycles {
+        match *self {
+            TraceEvent::RequestArrival { t, .. }
+            | TraceEvent::RequestComplete { t, .. }
+            | TraceEvent::RequestBlocked { t, .. }
+            | TraceEvent::Reassign { t, .. }
+            | TraceEvent::CacheEpoch { t, .. }
+            | TraceEvent::Enqueue { t, .. }
+            | TraceEvent::Dispatch { t, .. }
+            | TraceEvent::GaugeSample { t, .. }
+            | TraceEvent::InvariantViolation { t, .. } => t,
+            TraceEvent::PhaseSpan { start, .. }
+            | TraceEvent::UnitSpan { start, .. }
+            | TraceEvent::TransitionSpan { start, .. }
+            | TraceEvent::FlushSpan { start, .. } => start,
+        }
+    }
+}
