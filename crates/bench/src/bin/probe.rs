@@ -12,8 +12,8 @@ fn main() {
         let scale = hh_core::Scale { servers: 1, requests_per_vm: 200, rps_per_vm: 1000.0 };
         let m = hh_core::run_cluster(sys, scale, 99);
         let mut lat = m.pooled_latency_ms();
-        let sm = &m.servers[0].services;
-        let mean = |f: &dyn Fn(&hh_core::ServerMetrics) -> f64| f(&m.servers[0]);
+        let sm = &m.servers()[0].services;
+        let mean = |f: &dyn Fn(&hh_core::ServerMetrics) -> f64| f(&m.servers()[0]);
         let _ = mean;
         let (mut re, mut fl, mut ex, mut io, mut done) = (0.0, 0.0, 0.0, 0.0, 0u64);
         for s in sm {
@@ -26,7 +26,7 @@ fn main() {
         let d = done.max(1) as f64;
         println!("{:<18} {:>6.1}s  p50={:.3}ms p99={:.3}ms busy={:.1} units={} reassign={} | per-req: exec={:.3} io={:.3} re={:.3} fl={:.3}",
             sys.name, t0.elapsed().as_secs_f64(), lat.median(), lat.p99(),
-            m.avg_busy_cores(), m.servers[0].batch_units, m.servers[0].reassignments,
+            m.avg_busy_cores(), m.servers()[0].batch_units, m.servers()[0].reassignments,
             ex / d, io / d, re / d, fl / d);
     }
 }

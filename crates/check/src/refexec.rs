@@ -18,13 +18,13 @@ use crate::diff::Divergence;
 /// would simulate, executed one server at a time on the calling thread.
 pub fn run_cluster_serial(system: SystemSpec, scale: Scale, seed: u64) -> ClusterMetrics {
     let configs = resolved_configs(system, scale, seed, |_| {});
-    ClusterMetrics {
-        system: system.name,
-        servers: configs
+    ClusterMetrics::new(
+        system.name,
+        configs
             .into_iter()
             .map(|cfg| ServerSim::new(cfg).run())
             .collect(),
-    }
+    )
 }
 
 /// Compares two cluster results field by field. `optimized` is the pooled
@@ -46,26 +46,26 @@ pub fn diff_cluster(
         })
     };
 
-    if optimized.system != reference.system {
+    if optimized.system() != reference.system() {
         return Err(diverge(
             0,
             "cluster header",
             "system label",
-            optimized.system.to_string(),
-            reference.system.to_string(),
+            optimized.system().to_string(),
+            reference.system().to_string(),
         ));
     }
-    if optimized.servers.len() != reference.servers.len() {
+    if optimized.servers().len() != reference.servers().len() {
         return Err(diverge(
             0,
             "cluster header",
             "server count",
-            optimized.servers.len().to_string(),
-            reference.servers.len().to_string(),
+            optimized.servers().len().to_string(),
+            reference.servers().len().to_string(),
         ));
     }
 
-    for (i, (a, b)) in optimized.servers.iter().zip(&reference.servers).enumerate() {
+    for (i, (a, b)) in optimized.servers().iter().zip(reference.servers()).enumerate() {
         let ctx = format!("server {i} ({})", a.system);
         macro_rules! field {
             ($name:literal, $fa:expr, $fb:expr) => {

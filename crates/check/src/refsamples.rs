@@ -89,7 +89,9 @@ impl RefSamples {
 
     fn sorted_copy(&self) -> Vec<f64> {
         let mut v = self.values.clone();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+        // Must mirror Samples::percentile exactly: total_cmp, so the
+        // reference and optimized paths agree bitwise even on ±0.0 ties.
+        v.sort_by(|a, b| a.total_cmp(b));
         v
     }
 }

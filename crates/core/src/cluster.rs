@@ -56,15 +56,46 @@ impl Scale {
 }
 
 /// Merged metrics of one cluster run.
+///
+/// Fields are private: the hh-check oracle diffs this type, and every
+/// aggregate method assumes the [`ClusterMetrics::new`] invariants (at
+/// least one server, uniform service count), so mutation must go through
+/// the constructor.
 #[derive(Debug, Clone, Serialize)]
 pub struct ClusterMetrics {
     /// System label.
-    pub system: &'static str,
+    system: &'static str,
     /// Per-server metrics (index = server = batch job).
-    pub servers: Vec<ServerMetrics>,
+    servers: Vec<ServerMetrics>,
 }
 
 impl ClusterMetrics {
+    /// Builds a cluster result from per-server metrics.
+    ///
+    /// # Panics
+    /// Panics if `servers` is empty or the servers disagree on how many
+    /// services they ran — both would silently corrupt the percentile and
+    /// average aggregations below.
+    pub fn new(system: &'static str, servers: Vec<ServerMetrics>) -> ClusterMetrics {
+        assert!(!servers.is_empty(), "cluster metrics need at least one server");
+        let services = servers[0].services.len();
+        assert!(
+            servers.iter().all(|s| s.services.len() == services),
+            "servers disagree on service count"
+        );
+        ClusterMetrics { system, servers }
+    }
+
+    /// System label.
+    pub fn system(&self) -> &'static str {
+        self.system
+    }
+
+    /// Per-server metrics (index = server = batch job).
+    pub fn servers(&self) -> &[ServerMetrics] {
+        &self.servers
+    }
+
     /// Latency samples of one service pooled across servers, milliseconds.
     pub fn service_latency_ms(&self, service: usize) -> Samples {
         let mut s = Samples::new();
@@ -176,7 +207,7 @@ mod tests {
     #[test]
     fn cluster_runs_all_servers() {
         let m = run_cluster(SystemSpec::no_harvest(), tiny(), 1);
-        assert_eq!(m.servers.len(), 2);
+        assert_eq!(m.servers().len(), 2);
         assert_eq!(m.completed(), 2 * 8 * 60);
         assert!(m.avg_busy_cores() > 0.0);
     }

@@ -414,7 +414,7 @@ impl Experiments {
                 let mut reassign = 0.0;
                 let mut flush = 0.0;
                 let mut done = 0u64;
-                for srv in &m.servers {
+                for srv in m.servers() {
                     let sm = &srv.services[s];
                     exec += sm.exec.as_ms();
                     io += sm.io.as_ms();
@@ -589,7 +589,7 @@ impl Experiments {
         ] {
             let m = self.cluster(s);
             let thpt: f64 = (0..self.scale.servers).map(|i| m.batch_throughput(i)).sum();
-            let reassigns: u64 = m.servers.iter().map(|sv| sv.reassignments).sum();
+            let reassigns: u64 = m.servers().iter().map(|sv| sv.reassignments).sum();
             t.row(vec![
                 s.name.into(),
                 format!("{:.3}", m.pooled_latency_ms().p99()),
@@ -631,7 +631,7 @@ impl Experiments {
                 self.seed,
                 move |cfg| cfg.rq_chunks = chunks,
             );
-            let overflows: u64 = m.servers.iter().map(|s| s.queue_overflows).sum();
+            let overflows: u64 = m.servers().iter().map(|s| s.queue_overflows).sum();
             t.row(vec![
                 chunks.to_string(),
                 format!("{:.3}", m.pooled_latency_ms().p99()),

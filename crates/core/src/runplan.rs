@@ -17,7 +17,7 @@
 //! order, which makes every metric bit-identical regardless of the worker
 //! count or scheduling interleaving.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, OnceLock};
@@ -45,7 +45,7 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 /// impractical; probing the bucket API is not).
 #[derive(Debug, Default)]
 pub struct MemoTable {
-    buckets: Mutex<HashMap<u64, Vec<(Box<str>, Arc<OnceLock<ClusterMetrics>>)>>>,
+    buckets: Mutex<BTreeMap<u64, Vec<(Box<str>, Arc<OnceLock<ClusterMetrics>>)>>>,
 }
 
 impl MemoTable {
@@ -60,6 +60,8 @@ impl MemoTable {
     /// out of the table before initialization, so concurrent requests for
     /// the same key block on one simulation instead of racing duplicates.
     pub fn cell(&self, hash: u64, full_key: &str) -> Arc<OnceLock<ClusterMetrics>> {
+        // hh-lint: allow(unwrap-in-hot-path): lock poisoning means a worker
+        // panicked mid-simulation; the run is already lost, die loudly.
         let mut buckets = self.buckets.lock().expect("memo poisoned");
         let bucket = buckets.entry(hash).or_default();
         if let Some((_, cell)) = bucket.iter().find(|(k, _)| &**k == full_key) {
@@ -74,6 +76,8 @@ impl MemoTable {
     pub fn len(&self) -> usize {
         self.buckets
             .lock()
+            // hh-lint: allow(unwrap-in-hot-path): poisoning implies a
+            // worker already panicked; propagate the failure.
             .expect("memo poisoned")
             .values()
             .map(Vec::len)
@@ -121,6 +125,8 @@ impl RunPlan {
             let rx = Arc::clone(&rx);
             std::thread::spawn(move || loop {
                 // Take the lock only to dequeue; run the job unlocked.
+                // hh-lint: allow(unwrap-in-hot-path): a poisoned queue lock
+                // means a sibling worker panicked; joining it is pointless.
                 let job = match rx.lock().expect("worker queue poisoned").recv() {
                     Ok(job) => job,
                     Err(_) => break, // executor dropped
@@ -234,6 +240,8 @@ impl RunPlan {
                     // (caller panicked); nothing left to report then.
                     let _ = tx.send((i, metrics));
                 }))
+                // hh-lint: allow(unwrap-in-hot-path): send fails only after
+                // every worker thread died, which is itself a panic already.
                 .expect("worker pool shut down");
         }
         drop(tx);
@@ -241,13 +249,15 @@ impl RunPlan {
         for (i, metrics) in rx {
             slots[i] = Some(metrics);
         }
-        ClusterMetrics {
-            system: system.name,
-            servers: slots
+        ClusterMetrics::new(
+            system.name,
+            slots
                 .into_iter()
+                // hh-lint: allow(unwrap-in-hot-path): every slot is filled
+                // exactly once by construction of the (i, metrics) channel.
                 .map(|s| s.expect("server simulation lost"))
                 .collect(),
-        }
+        )
     }
 }
 
@@ -291,6 +301,8 @@ fn memo_key(system: SystemSpec, configs: &[ServerConfig]) -> (u64, String) {
     full.push_str(system.name);
     for cfg in configs {
         full.push('\n');
+        // hh-lint: allow(unwrap-in-hot-path): fmt::Write to String cannot
+        // fail; the expect documents that, it never fires.
         write!(full, "{cfg:?}").expect("String write is infallible");
     }
 
@@ -393,8 +405,8 @@ mod tests {
         let a = plan.run_cluster(SystemSpec::no_harvest(), tiny(), 9);
         let b = plan.run_cluster(SystemSpec::no_harvest_named("No-Move"), tiny(), 9);
         assert_eq!(plan.sims_run(), 2);
-        assert_eq!(a.system, "NoHarvest");
-        assert_eq!(b.system, "No-Move");
+        assert_eq!(a.system(), "NoHarvest");
+        assert_eq!(b.system(), "No-Move");
     }
 
     #[test]

@@ -227,6 +227,8 @@ impl Subqueue {
             .slots
             .iter_mut()
             .find(|s| s.token == token && s.status == Status::Running)
+            // hh-lint: allow(unwrap-in-hot-path): documented protocol panic; the scheduler
+            // contract (see # Panics) makes this state unreachable.
             .expect("mark_blocked: token not running");
         s.status = Status::Blocked;
     }
@@ -240,6 +242,8 @@ impl Subqueue {
             .slots
             .iter_mut()
             .find(|s| s.token == token && s.status == Status::Blocked)
+            // hh-lint: allow(unwrap-in-hot-path): documented protocol panic; the scheduler
+            // contract (see # Panics) makes this state unreachable.
             .expect("mark_ready: token not blocked");
         s.status = Status::Ready;
     }
@@ -254,6 +258,8 @@ impl Subqueue {
             .slots
             .iter_mut()
             .find(|s| s.token == token && s.status == Status::Running)
+            // hh-lint: allow(unwrap-in-hot-path): documented protocol panic; the scheduler
+            // contract (see # Panics) makes this state unreachable.
             .expect("preempt: token not running");
         s.status = Status::Ready;
     }
@@ -268,6 +274,8 @@ impl Subqueue {
             .slots
             .iter()
             .position(|s| s.token == token)
+            // hh-lint: allow(unwrap-in-hot-path): documented protocol panic; the scheduler
+            // contract (see # Panics) makes this state unreachable.
             .expect("complete: token not resident");
         self.slots.remove(pos);
         if self.slots.len() < self.capacity() {

@@ -1,0 +1,406 @@
+//! Item-level structure recovered from the token stream: delimiter
+//! matching, attributes, function spans, `#[cfg(test)]` regions and
+//! `debug_assert!` argument ranges.
+//!
+//! This is deliberately not a full parser. The rules need to know four
+//! things about any token: which function body it is in, whether it is
+//! test-only code, whether it sits inside a `debug_assert!` invocation,
+//! and which attributes decorate the enclosing item. A delimiter-matching
+//! pass plus a few targeted scans recover all of that without committing
+//! to a grammar.
+
+use crate::lexer::{Tok, TokKind};
+
+/// A function definition found in the token stream.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// Function name.
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub fn_idx: usize,
+    /// Token range `[body_open, body_close]` of the `{ … }` body
+    /// (inclusive of both braces). `None` for bodyless trait signatures.
+    pub body: Option<(usize, usize)>,
+    /// Whether any `#[inline…]` attribute decorates the function.
+    pub inline: bool,
+    /// Whether a `#[test]` attribute decorates the function.
+    pub test: bool,
+}
+
+/// A struct definition with a brace body (unit/tuple structs are skipped —
+/// the pub-field rule only cares about named fields).
+#[derive(Debug, Clone)]
+pub struct StructSpan {
+    /// Struct name.
+    pub name: String,
+    /// Token range of the `{ … }` field block, inclusive.
+    pub body: (usize, usize),
+}
+
+/// Structural index over one file's token stream.
+#[derive(Debug, Default)]
+pub struct FileIndex {
+    /// For each token index holding `{`/`(`/`[`, the index of its matching
+    /// closer (and vice versa). `usize::MAX` for unmatched (malformed).
+    pub matching: Vec<usize>,
+    /// Token ranges (inclusive) that are test-only: bodies of
+    /// `#[cfg(test)] mod … { }` and of `#[test] fn … { }`.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// Token ranges (inclusive) covering the arguments of
+    /// `debug_assert*!(…)` invocations.
+    pub debug_ranges: Vec<(usize, usize)>,
+    /// Every function definition.
+    pub fns: Vec<FnSpan>,
+    /// Every braced struct definition.
+    pub structs: Vec<StructSpan>,
+}
+
+impl FileIndex {
+    /// Builds the index for a token stream.
+    pub fn build(toks: &[Tok]) -> FileIndex {
+        let mut idx = FileIndex {
+            matching: vec![usize::MAX; toks.len()],
+            ..FileIndex::default()
+        };
+        idx.match_delims(toks);
+        let attrs = AttrIndex::build(toks, &idx);
+        idx.find_fns(toks, &attrs);
+        idx.find_structs(toks, &attrs);
+        idx.find_test_ranges(toks, &attrs);
+        idx.find_debug_ranges(toks);
+        idx
+    }
+
+    fn match_delims(&mut self, toks: &[Tok]) {
+        let mut stack: Vec<(usize, &str)> = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Punct {
+                continue;
+            }
+            match t.text.as_str() {
+                "{" | "(" | "[" => stack.push((i, t.text.as_str())),
+                "}" | ")" | "]" => {
+                    let want = match t.text.as_str() {
+                        "}" => "{",
+                        ")" => "(",
+                        _ => "[",
+                    };
+                    if let Some(&(open, kind)) = stack.last() {
+                        if kind == want {
+                            stack.pop();
+                            self.matching[open] = i;
+                            self.matching[i] = open;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The inclusive token range of the delimiter group opening at `open`.
+    fn group(&self, open: usize) -> Option<(usize, usize)> {
+        let close = *self.matching.get(open)?;
+        (close != usize::MAX).then_some((open, close))
+    }
+
+    fn find_fns(&mut self, toks: &[Tok], attrs: &AttrIndex) {
+        let mut i = 0;
+        while i < toks.len() {
+            if toks[i].is_ident("fn")
+                && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident)
+            {
+                let name = toks[i + 1].text.clone();
+                // Body: first `{` at or after the signature, unless a `;`
+                // (trait method declaration) comes first. Parenthesised and
+                // bracketed groups in the signature (params, defaults,
+                // slices in const generics) are skipped wholesale so a `;`
+                // inside them cannot end the search early.
+                let mut j = i + 2;
+                let mut body = None;
+                while j < toks.len() {
+                    let t = &toks[j];
+                    if t.is_punct("(") || t.is_punct("[") {
+                        if let Some((_, close)) = self.group(j) {
+                            j = close + 1;
+                            continue;
+                        }
+                    }
+                    if t.is_punct(";") {
+                        break;
+                    }
+                    if t.is_punct("{") {
+                        body = self.group(j);
+                        break;
+                    }
+                    j += 1;
+                }
+                let item_attrs = attrs.of(i);
+                self.fns.push(FnSpan {
+                    name,
+                    fn_idx: i,
+                    body,
+                    inline: item_attrs.iter().any(|a| a.contains_ident("inline")),
+                    test: item_attrs.iter().any(|a| a.is_exactly("test")),
+                });
+                i = j.max(i + 2);
+                continue;
+            }
+            i += 1;
+        }
+    }
+
+    fn find_structs(&mut self, toks: &[Tok], _attrs: &AttrIndex) {
+        for i in 0..toks.len() {
+            if !toks[i].is_ident("struct") {
+                continue;
+            }
+            let Some(name_tok) = toks.get(i + 1) else { continue };
+            if name_tok.kind != TokKind::Ident {
+                continue;
+            }
+            // Scan past generics/where-clause to the defining `{`; a `;` or
+            // `(` first means unit/tuple struct.
+            let mut j = i + 2;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct(";") || t.is_punct("(") {
+                    break;
+                }
+                if t.is_punct("{") {
+                    if let Some(body) = self.group(j) {
+                        self.structs.push(StructSpan {
+                            name: name_tok.text.clone(),
+                            body,
+                        });
+                    }
+                    break;
+                }
+                j += 1;
+            }
+        }
+    }
+
+    fn find_test_ranges(&mut self, toks: &[Tok], attrs: &AttrIndex) {
+        // #[cfg(test)] mod name { … }
+        for (item_idx, item_attrs) in &attrs.by_item {
+            let is_cfg_test = item_attrs
+                .iter()
+                .any(|a| a.contains_ident("cfg") && a.contains_ident("test"));
+            if is_cfg_test && toks[*item_idx].is_ident("mod") {
+                // Find the module's opening brace (inline mod only; an
+                // out-of-line `mod x;` has no body here).
+                let mut j = item_idx + 1;
+                while j < toks.len() && !toks[j].is_punct("{") && !toks[j].is_punct(";") {
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].is_punct("{") {
+                    if let Some(r) = self.group(j) {
+                        self.test_ranges.push(r);
+                    }
+                }
+            }
+        }
+        // #[test] fn … { … }
+        let test_fn_bodies: Vec<(usize, usize)> = self
+            .fns
+            .iter()
+            .filter(|f| f.test)
+            .filter_map(|f| f.body)
+            .collect();
+        self.test_ranges.extend(test_fn_bodies);
+    }
+
+    fn find_debug_ranges(&mut self, toks: &[Tok]) {
+        for i in 0..toks.len() {
+            if toks[i].kind == TokKind::Ident
+                && toks[i].text.starts_with("debug_assert")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct("!"))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct("(") || t.is_punct("["))
+            {
+                if let Some(r) = self.group(i + 2) {
+                    self.debug_ranges.push(r);
+                }
+            }
+        }
+    }
+
+    /// Whether token `i` lies in test-only code.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_ranges.iter().any(|&(a, b)| a <= i && i <= b)
+    }
+
+    /// Whether token `i` lies inside a `debug_assert*!` invocation.
+    pub fn in_debug_assert(&self, i: usize) -> bool {
+        self.debug_ranges.iter().any(|&(a, b)| a <= i && i <= b)
+    }
+
+    /// The innermost function whose body contains token `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(a, b)| a <= i && i <= b))
+            .min_by_key(|f| {
+                let (a, b) = f.body.expect("filtered");
+                b - a
+            })
+    }
+}
+
+/// One `#[…]` attribute as raw tokens.
+#[derive(Debug, Clone)]
+pub struct Attr {
+    idents: Vec<String>,
+}
+
+impl Attr {
+    /// Whether any identifier inside the attribute equals `name`.
+    pub fn contains_ident(&self, name: &str) -> bool {
+        self.idents.iter().any(|s| s == name)
+    }
+
+    /// Whether the attribute is exactly `#[name]`.
+    pub fn is_exactly(&self, name: &str) -> bool {
+        self.idents.len() == 1 && self.idents[0] == name
+    }
+}
+
+/// Attributes grouped by the token index of the item they decorate.
+#[derive(Debug, Default)]
+struct AttrIndex {
+    by_item: Vec<(usize, Vec<Attr>)>,
+}
+
+impl AttrIndex {
+    fn build(toks: &[Tok], idx: &FileIndex) -> AttrIndex {
+        let mut out = AttrIndex::default();
+        let mut pending: Vec<Attr> = Vec::new();
+        let mut i = 0;
+        while i < toks.len() {
+            let t = &toks[i];
+            if t.is_punct("#") && toks.get(i + 1).is_some_and(|n| n.is_punct("[")) {
+                if let Some((open, close)) = idx.group(i + 1).map(|(a, b)| (a, b)) {
+                    let idents = toks[open + 1..close]
+                        .iter()
+                        .filter(|t| t.kind == TokKind::Ident)
+                        .map(|t| t.text.clone())
+                        .collect();
+                    pending.push(Attr { idents });
+                    i = close + 1;
+                    continue;
+                }
+            }
+            // Inner attributes `#![…]` reset nothing and attach to nothing
+            // we track; skip the `!` so the group is not misread.
+            if t.is_punct("#") && toks.get(i + 1).is_some_and(|n| n.is_punct("!")) {
+                if let Some((_, close)) = idx.group(i + 2) {
+                    i = close + 1;
+                    continue;
+                }
+            }
+            if !pending.is_empty() && t.kind == TokKind::Ident {
+                // Attach pending attributes to the first item-ish keyword.
+                if matches!(
+                    t.text.as_str(),
+                    "fn" | "mod" | "struct" | "enum" | "impl" | "trait" | "use" | "static"
+                        | "const" | "type" | "union" | "macro_rules"
+                ) {
+                    out.by_item.push((i, std::mem::take(&mut pending)));
+                } else if matches!(t.text.as_str(), "pub" | "unsafe" | "async" | "extern") {
+                    // Visibility / qualifiers: keep scanning, attributes
+                    // still pending for the real keyword.
+                } else {
+                    // Expression attribute (e.g. on a match arm): drop.
+                    pending.clear();
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+
+    fn of(&self, item_idx: usize) -> &[Attr] {
+        self.by_item
+            .iter()
+            .find(|(i, _)| *i == item_idx)
+            .map(|(_, a)| a.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn fn_bodies_and_inline() {
+        let l = lex("#[inline]\npub fn fast(x: u64) -> u64 { x + 1 }\nfn plain() {}");
+        let idx = FileIndex::build(&l.toks);
+        assert_eq!(idx.fns.len(), 2);
+        assert!(idx.fns[0].inline);
+        assert_eq!(idx.fns[0].name, "fast");
+        assert!(!idx.fns[1].inline);
+        assert!(idx.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn trait_signatures_have_no_body() {
+        let l = lex("trait T { fn sig(&self) -> u64; fn with_default(&self) { } }");
+        let idx = FileIndex::build(&l.toks);
+        let sig = idx.fns.iter().find(|f| f.name == "sig").unwrap();
+        assert!(sig.body.is_none());
+        let def = idx.fns.iter().find(|f| f.name == "with_default").unwrap();
+        assert!(def.body.is_some());
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_range() {
+        let l = lex("fn real() {}\n#[cfg(test)]\nmod tests { fn helper() {} }");
+        let idx = FileIndex::build(&l.toks);
+        let helper = idx.fns.iter().find(|f| f.name == "helper").unwrap();
+        assert!(idx.in_test(helper.fn_idx));
+        let real = idx.fns.iter().find(|f| f.name == "real").unwrap();
+        assert!(!idx.in_test(real.fn_idx));
+    }
+
+    #[test]
+    fn test_attr_fn_is_a_test_range() {
+        let l = lex("#[test]\nfn check() { body(); }");
+        let idx = FileIndex::build(&l.toks);
+        let (a, b) = idx.fns[0].body.unwrap();
+        assert!(idx.in_test((a + b) / 2));
+    }
+
+    #[test]
+    fn debug_assert_args_tracked() {
+        let l = lex("fn f() { debug_assert!(x.unwrap() > 0); y.unwrap(); }");
+        let idx = FileIndex::build(&l.toks);
+        let unwraps: Vec<usize> = l
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(idx.in_debug_assert(unwraps[0]));
+        assert!(!idx.in_debug_assert(unwraps[1]));
+    }
+
+    #[test]
+    fn structs_with_fields_found() {
+        let l = lex("pub struct A { pub x: u64 }\nstruct Unit;\nstruct Tup(u64);");
+        let idx = FileIndex::build(&l.toks);
+        assert_eq!(idx.structs.len(), 1);
+        assert_eq!(idx.structs[0].name, "A");
+    }
+
+    #[test]
+    fn enclosing_fn_prefers_innermost() {
+        let l = lex("fn outer() { fn inner() { target(); } }");
+        let idx = FileIndex::build(&l.toks);
+        let target = l.toks.iter().position(|t| t.is_ident("target")).unwrap();
+        assert_eq!(idx.enclosing_fn(target).unwrap().name, "inner");
+    }
+}

@@ -1,0 +1,178 @@
+//! Lint policy: which rules run at which severity in which crate, plus the
+//! rule-specific knob lists (hot modules, transition triggers, oracle
+//! types).
+//!
+//! The workspace policy is code, not a config file, so that changing it is
+//! a reviewed diff like any other invariant change.
+
+use std::collections::BTreeMap;
+
+/// Severity of a rule in a given crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Rule does not run / findings are dropped.
+    Allow,
+    /// Reported, does not fail the build.
+    Warn,
+    /// Reported and fails the lint run (CI gate).
+    Deny,
+}
+
+impl Level {
+    /// Lowercase name, as printed in diagnostics and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Allow => "allow",
+            Level::Warn => "warn",
+            Level::Deny => "deny",
+        }
+    }
+}
+
+/// Stable identifiers of every rule the engine ships.
+pub const RULES: &[&str] = &[
+    "nondeterministic-collection",
+    "wall-clock-in-sim",
+    "ambient-rng",
+    "unwrap-in-hot-path",
+    "float-eq",
+    "untraced-transition",
+    "pub-field-in-oracle-type",
+];
+
+/// The full lint policy.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Default level per rule.
+    pub default_levels: BTreeMap<&'static str, Level>,
+    /// `(crate, rule)` overrides of the default level.
+    pub crate_overrides: BTreeMap<(String, &'static str), Level>,
+    /// File-name suffixes of known hot modules (`unwrap-in-hot-path`
+    /// applies to these files in full, plus every `#[inline]` function
+    /// anywhere).
+    pub hot_modules: Vec<String>,
+    /// Method names whose call marks a function as performing a traced
+    /// sim-state transition (`untraced-transition`).
+    pub transition_triggers: Vec<String>,
+    /// Macro names counting as trace evidence inside such a function.
+    pub trace_macros: Vec<String>,
+    /// Helper method names counting as trace evidence (they contain the
+    /// actual `trace_event!` calls).
+    pub trace_helpers: Vec<String>,
+    /// Type names whose struct declarations must not expose `pub` fields
+    /// (`pub-field-in-oracle-type`): the types the hh-check oracle diffs,
+    /// whose constructors establish invariants.
+    pub oracle_types: Vec<String>,
+}
+
+impl Config {
+    /// The workspace policy (what CI enforces).
+    pub fn workspace() -> Config {
+        let mut default_levels = BTreeMap::new();
+        for rule in RULES {
+            default_levels.insert(*rule, Level::Deny);
+        }
+        // `untraced-transition` names hh-server's transition machinery;
+        // other crates have no notion of "core lend/reclaim", so the rule
+        // is opt-in per crate.
+        default_levels.insert("untraced-transition", Level::Allow);
+
+        let mut crate_overrides = BTreeMap::new();
+        // The bench harness *measures host wall time by design* (figure
+        // timings, perfsmoke); simulated time never flows from it.
+        crate_overrides.insert(
+            ("hh-bench".to_string(), "wall-clock-in-sim"),
+            Level::Allow,
+        );
+        // The server simulation owns every lend/reclaim/flush/enqueue
+        // transition the trace must witness.
+        crate_overrides.insert(
+            ("hh-server".to_string(), "untraced-transition"),
+            Level::Deny,
+        );
+
+        Config {
+            default_levels,
+            crate_overrides,
+            hot_modules: vec![
+                "mem/src/cache.rs".into(),
+                "hwqueue/src/subqueue.rs".into(),
+                "core/src/runplan.rs".into(),
+            ],
+            transition_triggers: vec![
+                "lend_core".into(),
+                "reclaim_core".into(),
+                "flush_harvest_region".into(),
+                "flush_all".into(),
+                "enqueue".into(),
+            ],
+            trace_macros: vec![
+                "trace_event".into(),
+                "trace_count".into(),
+                "trace_gauge".into(),
+                "trace_hist".into(),
+            ],
+            trace_helpers: vec!["note_flush".into(), "note_reassign".into()],
+            oracle_types: vec![
+                // Diffed by hh-check's diff_cache / diff_samples /
+                // diff_cluster; each has an invariant-checking constructor
+                // that public mutable fields would bypass.
+                "SetAssocCache".into(),
+                "Samples".into(),
+                "Subqueue".into(),
+                "ClusterMetrics".into(),
+            ],
+        }
+    }
+
+    /// Policy for the fixture corpus: every rule denies everywhere, the
+    /// fixture file itself counts as a hot module and as a transition
+    /// crate, so each rule can be exercised from a single file.
+    pub fn corpus() -> Config {
+        let mut cfg = Config::workspace();
+        for rule in RULES {
+            cfg.default_levels.insert(*rule, Level::Deny);
+        }
+        cfg.crate_overrides.clear();
+        cfg.hot_modules.push("hot_mod.rs".into());
+        cfg
+    }
+
+    /// Effective level of `rule` in `crate_name`.
+    pub fn level(&self, crate_name: &str, rule: &'static str) -> Level {
+        self.crate_overrides
+            .get(&(crate_name.to_string(), rule))
+            .copied()
+            .unwrap_or_else(|| {
+                self.default_levels.get(rule).copied().unwrap_or(Level::Allow)
+            })
+    }
+
+    /// Whether `path` (display path, `/`-separated) is a known hot module.
+    pub fn is_hot_module(&self, path: &str) -> bool {
+        self.hot_modules.iter().any(|m| path.ends_with(m.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_deny_everything_but_transitions() {
+        let cfg = Config::workspace();
+        assert_eq!(cfg.level("hh-server", "nondeterministic-collection"), Level::Deny);
+        assert_eq!(cfg.level("hh-mem", "float-eq"), Level::Deny);
+        assert_eq!(cfg.level("hh-mem", "untraced-transition"), Level::Allow);
+        assert_eq!(cfg.level("hh-server", "untraced-transition"), Level::Deny);
+        assert_eq!(cfg.level("hh-bench", "wall-clock-in-sim"), Level::Allow);
+        assert_eq!(cfg.level("hh-trace", "wall-clock-in-sim"), Level::Deny);
+    }
+
+    #[test]
+    fn hot_module_matching_is_suffix_based() {
+        let cfg = Config::workspace();
+        assert!(cfg.is_hot_module("crates/mem/src/cache.rs"));
+        assert!(!cfg.is_hot_module("crates/mem/src/belady.rs"));
+    }
+}

@@ -1,0 +1,211 @@
+//! Diagnostics: the finding record, the inline allow-directive parser and
+//! the human / JSON renderers.
+
+use crate::config::Level;
+use crate::lexer::Comment;
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Stable rule id (`float-eq`, …).
+    pub rule: &'static str,
+    /// Effective severity in this crate.
+    pub level: Level,
+    /// Crate the file belongs to.
+    pub crate_name: String,
+    /// Display path, relative to the workspace root.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+impl Diagnostic {
+    /// `file:line:col` prefix used in both output formats.
+    pub fn location(&self) -> String {
+        format!("{}:{}:{}", self.file, self.line, self.col)
+    }
+}
+
+/// Inline escape hatches parsed from comments:
+/// `// hh-lint: allow(rule-a, rule-b): justification`.
+///
+/// A directive suppresses findings of the named rules on its own line and
+/// on the line immediately after it (so it can sit above the offending
+/// line, where rustfmt keeps it stable). A justification that wraps onto
+/// further `//` comment lines extends the window: consecutive comments on
+/// adjacent lines count as one block, and the block as a whole covers one
+/// line past its end.
+#[derive(Debug, Default)]
+pub struct Allows {
+    /// (rule, first line covered, last line covered)
+    entries: Vec<(String, u32, u32)>,
+}
+
+impl Allows {
+    /// Parses every directive in `comments` (which arrive in source order).
+    pub fn collect(comments: &[Comment]) -> Allows {
+        let mut allows = Allows::default();
+        for (k, c) in comments.iter().enumerate() {
+            let Some(pos) = c.text.find("hh-lint:") else { continue };
+            let rest = &c.text[pos + "hh-lint:".len()..];
+            let rest = rest.trim_start();
+            let Some(body) = rest.strip_prefix("allow") else { continue };
+            let body = body.trim_start();
+            let Some(body) = body.strip_prefix('(') else { continue };
+            let Some(close) = body.find(')') else { continue };
+            // Wrapped justification: follow directly-adjacent comments.
+            let mut end = c.end_line;
+            for next in &comments[k + 1..] {
+                if next.line != end + 1 {
+                    break;
+                }
+                end = next.end_line;
+            }
+            for rule in body[..close].split(',') {
+                let rule = rule.trim();
+                if !rule.is_empty() {
+                    allows.entries.push((rule.to_string(), c.line, end + 1));
+                }
+            }
+        }
+        allows
+    }
+
+    /// Whether a finding of `rule` on `line` is suppressed.
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.entries
+            .iter()
+            .any(|(r, a, b)| r == rule && *a <= line && line <= *b)
+    }
+}
+
+/// Renders findings for terminals.
+pub fn render_human(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&format!(
+            "{}[{}] {}: {}\n    | {}\n    = help: {}\n",
+            d.level.name(),
+            d.rule,
+            d.location(),
+            d.message,
+            d.snippet,
+            d.hint,
+        ));
+    }
+    let denies = diags.iter().filter(|d| d.level == Level::Deny).count();
+    let warns = diags.iter().filter(|d| d.level == Level::Warn).count();
+    out.push_str(&format!(
+        "hh-lint: {denies} denied, {warns} warned, {} total\n",
+        diags.len()
+    ));
+    out
+}
+
+/// Renders findings as a stable JSON document for CI.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"rule\": {}, ", json_str(d.rule)));
+        out.push_str(&format!("\"level\": {}, ", json_str(d.level.name())));
+        out.push_str(&format!("\"crate\": {}, ", json_str(&d.crate_name)));
+        out.push_str(&format!("\"file\": {}, ", json_str(&d.file)));
+        out.push_str(&format!("\"line\": {}, ", d.line));
+        out.push_str(&format!("\"col\": {}, ", d.col));
+        out.push_str(&format!("\"message\": {}, ", json_str(&d.message)));
+        out.push_str(&format!("\"snippet\": {}, ", json_str(&d.snippet)));
+        out.push_str(&format!("\"hint\": {}", json_str(&d.hint)));
+        out.push('}');
+    }
+    let denies = diags.iter().filter(|d| d.level == Level::Deny).count();
+    let warns = diags.iter().filter(|d| d.level == Level::Warn).count();
+    out.push_str(&format!(
+        "\n  ],\n  \"summary\": {{\"deny\": {denies}, \"warn\": {warns}, \"total\": {}}}\n}}\n",
+        diags.len()
+    ));
+    out
+}
+
+/// Minimal JSON string escaper (the only JSON we emit is our own).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn wrapped_justification_extends_coverage() {
+        let l = lex(
+            "// hh-lint: allow(float-eq): a justification long enough\n// to wrap onto a second comment line\nlet x = a == 0.0;\nlet y = b == 0.0;\n",
+        );
+        let allows = Allows::collect(&l.comments);
+        assert!(allows.covers("float-eq", 3));
+        assert!(!allows.covers("float-eq", 4));
+    }
+
+    #[test]
+    fn allow_directive_parsing() {
+        let l = lex(
+            "// hh-lint: allow(float-eq): exact sentinel comparison\nlet x = a == 0.0;\n// hh-lint: allow(ambient-rng, wall-clock-in-sim)\n",
+        );
+        let allows = Allows::collect(&l.comments);
+        assert!(allows.covers("float-eq", 1));
+        assert!(allows.covers("float-eq", 2)); // line after the directive
+        assert!(!allows.covers("float-eq", 3));
+        assert!(allows.covers("ambient-rng", 3));
+        assert!(allows.covers("wall-clock-in-sim", 4));
+        assert!(!allows.covers("unwrap-in-hot-path", 3));
+    }
+
+    #[test]
+    fn json_escapes() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn json_shape_is_parseable_by_eye() {
+        let d = Diagnostic {
+            rule: "float-eq",
+            level: Level::Deny,
+            crate_name: "hh-sim".into(),
+            file: "crates/sim/src/stats.rs".into(),
+            line: 3,
+            col: 7,
+            message: "m".into(),
+            snippet: "s".into(),
+            hint: "h".into(),
+        };
+        let json = render_json(&[d]);
+        assert!(json.contains("\"deny\": 1"));
+        assert!(json.contains("\"rule\": \"float-eq\""));
+    }
+}

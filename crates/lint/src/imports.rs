@@ -1,0 +1,225 @@
+//! Use-tree expansion: maps every name a `use` item brings into scope to
+//! its full path, so the rules can resolve a bare `HashMap` back to
+//! `std::collections::HashMap` (or to a local type that merely shares the
+//! name).
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Tok, TokKind};
+
+/// The imports of one file (module-level scoping is ignored: a name
+/// imported anywhere in the file counts for the whole file, which
+/// over-approximates scope but never misses a real import).
+#[derive(Debug, Default)]
+pub struct Imports {
+    /// Imported name (possibly an `as` rename) → full path.
+    pub names: BTreeMap<String, String>,
+    /// Prefixes of glob imports (`use a::b::*` stores `a::b`).
+    pub globs: Vec<String>,
+}
+
+impl Imports {
+    /// Collects every `use` item in the token stream.
+    pub fn collect(toks: &[Tok]) -> Imports {
+        let mut imports = Imports::default();
+        let mut i = 0;
+        while i < toks.len() {
+            if toks[i].is_ident("use") && !prev_is_path(toks, i) {
+                // Gather the tokens of this use item up to `;`.
+                let start = i + 1;
+                let mut j = start;
+                while j < toks.len() && !toks[j].is_punct(";") {
+                    j += 1;
+                }
+                expand_tree(&toks[start..j], "", &mut imports);
+                i = j + 1;
+                continue;
+            }
+            i += 1;
+        }
+        imports
+    }
+
+    /// Resolves a path whose textual first segment is `first` to a full
+    /// path: imported names expand, known roots (`std`, `core`, `alloc`,
+    /// `crate`, `self`, `super`, or an external crate name) pass through.
+    pub fn resolve(&self, path: &str) -> String {
+        let first = path.split("::").next().unwrap_or(path);
+        match self.names.get(first) {
+            Some(full) if first == path => full.clone(),
+            Some(full) => {
+                let rest = &path[first.len() + 2..];
+                format!("{full}::{rest}")
+            }
+            None => path.to_string(),
+        }
+    }
+}
+
+/// `use` can legally appear only at item position; a `use` preceded by `::`
+/// or `.` would be a path segment / method named use (impossible, but the
+/// check is cheap).
+fn prev_is_path(toks: &[Tok], i: usize) -> bool {
+    i > 0 && (toks[i - 1].is_punct("::") || toks[i - 1].is_punct("."))
+}
+
+/// Recursively expands one use-tree. `prefix` is the already-consumed path
+/// (no trailing `::`).
+fn expand_tree(toks: &[Tok], prefix: &str, out: &mut Imports) {
+    // Split the tree at top-level commas (only meaningful inside braces,
+    // where the caller hands us the brace contents).
+    let mut depth = 0usize;
+    let mut part_start = 0usize;
+    let mut parts: Vec<&[Tok]> = Vec::new();
+    for (k, t) in toks.iter().enumerate() {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+        } else if t.is_punct(",") && depth == 0 {
+            parts.push(&toks[part_start..k]);
+            part_start = k + 1;
+        }
+    }
+    parts.push(&toks[part_start..]);
+
+    for part in parts {
+        expand_single(part, prefix, out);
+    }
+}
+
+/// Expands one comma-free use-tree entry.
+fn expand_single(toks: &[Tok], prefix: &str, out: &mut Imports) {
+    // Walk leading `pub`, `pub(crate)` etc. (visibility on `pub use`).
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident("pub") {
+            i += 1;
+            if toks.get(i).is_some_and(|t| t.is_punct("(")) {
+                while i < toks.len() && !toks[i].is_punct(")") {
+                    i += 1;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        break;
+    }
+    let mut path = prefix.to_string();
+    let mut last_segment = String::new();
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident {
+            if t.text == "as" {
+                // Rename: next ident is the local name.
+                if let Some(name) = toks.get(i + 1) {
+                    if name.text != "_" {
+                        out.names.insert(name.text.clone(), path.clone());
+                    }
+                }
+                return;
+            }
+            last_segment = t.text.clone();
+            if !path.is_empty() {
+                path.push_str("::");
+            }
+            path.push_str(&t.text);
+            i += 1;
+            continue;
+        }
+        if t.is_punct("::") {
+            i += 1;
+            continue;
+        }
+        if t.is_punct("*") {
+            out.globs.push(path.trim_end_matches("::").to_string());
+            return;
+        }
+        if t.is_punct("{") {
+            // Find the matching close within this slice.
+            let mut depth = 1usize;
+            let mut k = i + 1;
+            while k < toks.len() && depth > 0 {
+                if toks[k].is_punct("{") {
+                    depth += 1;
+                } else if toks[k].is_punct("}") {
+                    depth -= 1;
+                }
+                k += 1;
+            }
+            expand_tree(&toks[i + 1..k.saturating_sub(1)], &path, out);
+            return;
+        }
+        // Anything else (stray punctuation): stop.
+        break;
+    }
+    if !last_segment.is_empty() {
+        if last_segment == "self" {
+            // `use a::b::{self}` imports `b`.
+            let trimmed = path.trim_end_matches("::self");
+            if let Some(name) = trimmed.rsplit("::").next() {
+                out.names.insert(name.to_string(), trimmed.to_string());
+            }
+        } else {
+            out.names.insert(last_segment, path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn imports(src: &str) -> Imports {
+        Imports::collect(&lex(src).toks)
+    }
+
+    #[test]
+    fn simple_use() {
+        let im = imports("use std::collections::HashMap;");
+        assert_eq!(im.names["HashMap"], "std::collections::HashMap");
+    }
+
+    #[test]
+    fn nested_groups_and_renames() {
+        let im = imports("use std::collections::{HashMap, BTreeMap as Ordered, hash_map::Entry};");
+        assert_eq!(im.names["HashMap"], "std::collections::HashMap");
+        assert_eq!(im.names["Ordered"], "std::collections::BTreeMap");
+        assert_eq!(im.names["Entry"], "std::collections::hash_map::Entry");
+    }
+
+    #[test]
+    fn globs_recorded() {
+        let im = imports("use hh_sim::stats::*;");
+        assert_eq!(im.globs, ["hh_sim::stats"]);
+    }
+
+    #[test]
+    fn self_in_group() {
+        let im = imports("use std::time::{self, Instant};");
+        assert_eq!(im.names["Instant"], "std::time::Instant");
+        assert_eq!(im.names["time"], "std::time");
+    }
+
+    #[test]
+    fn pub_use_counts() {
+        let im = imports("pub use crate::runplan::RunPlan;");
+        assert_eq!(im.names["RunPlan"], "crate::runplan::RunPlan");
+    }
+
+    #[test]
+    fn resolve_extends_paths() {
+        let im = imports("use std::time::Instant;");
+        assert_eq!(im.resolve("Instant"), "std::time::Instant");
+        assert_eq!(im.resolve("Instant::now"), "std::time::Instant::now");
+        assert_eq!(im.resolve("std::time::Instant"), "std::time::Instant");
+    }
+
+    #[test]
+    fn multiple_items_one_line() {
+        let im = imports("use a::B; use c::{D, E};");
+        assert_eq!(im.names.len(), 3);
+    }
+}

@@ -1,0 +1,613 @@
+//! A hand-rolled lexer for (the subset of) Rust this workspace uses.
+//!
+//! The lint rules operate on token streams, never raw text, so source text
+//! inside string literals and comments can never produce findings. The
+//! tricky cases are exactly the ones with their own corpus fixtures: raw
+//! strings (`r#"…"#` with any number of `#`s), nested block comments,
+//! lifetimes vs char literals (`'a` vs `'a'`), byte/raw-byte literals and
+//! float literals (`1.`, `1e-9`, `1f64`) vs field/tuple access (`self.0`).
+//!
+//! Comments are not discarded: they are collected side-band (with their
+//! line spans) because the `// hh-lint: allow(rule)` escape hatch lives in
+//! them.
+
+/// Token classification. Just enough structure for the rules; operators
+/// that no rule cares about still lex correctly, as [`TokKind::Punct`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `r#ident` raw identifiers).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// Integer literal, including `0x…`/`0o…`/`0b…` and suffixed forms.
+    Int,
+    /// Float literal: has a fraction, an exponent, or an `f32`/`f64` suffix.
+    Float,
+    /// String literal of any flavour: `"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br"…"`.
+    Str,
+    /// Char literal `'x'` (including escapes) or byte literal `b'x'`.
+    Char,
+    /// Punctuation. Multi-character operators the rules must distinguish
+    /// (`==`, `!=`, `<=`, `>=`, `=>`, `->`, `::`, `..`, `..=`, `&&`, `||`)
+    /// are joined into one token; everything else is single-character.
+    Punct,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Source text of the token, verbatim.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// Whether this token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// Whether this token is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
+    }
+}
+
+/// A comment (line or block, doc or plain), kept for allow-directives.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line where the comment starts.
+    pub line: u32,
+    /// 1-based line where the comment ends (same as `line` for `//`).
+    pub end_line: u32,
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub toks: Vec<Tok>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators joined into single tokens, longest first.
+const JOINED: &[&str] = &[
+    "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..",
+];
+
+struct Cursor<'a> {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+    src: &'a str,
+}
+
+impl Cursor<'_> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes one file. Malformed input (unterminated literals) does not panic:
+/// the lexer consumes to end-of-file and returns what it has — the linter
+/// runs on code that `rustc` already accepted, so this is defensive only.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+        src,
+    };
+    let _ = cur.src;
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        // Whitespace.
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && cur.peek_at(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek() {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.comments.push(Comment { line, end_line: line, text });
+            continue;
+        }
+        if c == '/' && cur.peek_at(1) == Some('*') {
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while let Some(ch) = cur.peek() {
+                if ch == '/' && cur.peek_at(1) == Some('*') {
+                    depth += 1;
+                    text.push('/');
+                    text.push('*');
+                    cur.bump();
+                    cur.bump();
+                    continue;
+                }
+                if ch == '*' && cur.peek_at(1) == Some('/') {
+                    depth -= 1;
+                    text.push('*');
+                    text.push('/');
+                    cur.bump();
+                    cur.bump();
+                    if depth == 0 {
+                        break;
+                    }
+                    continue;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.comments.push(Comment { line, end_line: cur.line, text });
+            continue;
+        }
+        // String-ish literals with optional b/r prefixes, and raw idents.
+        if is_ident_start(c) {
+            // Check for literal prefixes before consuming as identifier.
+            if let Some(tok) = try_prefixed_literal(&mut cur, line, col) {
+                out.toks.push(tok);
+                continue;
+            }
+            let mut text = String::new();
+            while let Some(ch) = cur.peek() {
+                if is_ident_continue(ch) {
+                    text.push(ch);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            out.toks.push(Tok { kind: TokKind::Ident, text, line, col });
+            continue;
+        }
+        if c == '"' {
+            out.toks.push(lex_string(&mut cur, line, col));
+            continue;
+        }
+        if c == '\'' {
+            out.toks.push(lex_quote(&mut cur, line, col));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            out.toks.push(lex_number(&mut cur, line, col));
+            continue;
+        }
+        // Punctuation: joined operators first, longest match wins.
+        let mut joined = None;
+        for op in JOINED {
+            if op.chars().enumerate().all(|(k, oc)| cur.peek_at(k) == Some(oc)) {
+                joined = Some(*op);
+                break;
+            }
+        }
+        if let Some(op) = joined {
+            for _ in 0..op.len() {
+                cur.bump();
+            }
+            out.toks.push(Tok { kind: TokKind::Punct, text: op.to_string(), line, col });
+            continue;
+        }
+        cur.bump();
+        out.toks.push(Tok { kind: TokKind::Punct, text: c.to_string(), line, col });
+    }
+    out
+}
+
+/// `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'x'` and raw identifiers
+/// (`r#match`). Returns `None` when the `r`/`b` is an ordinary identifier
+/// start (`resident`, `bound`, …).
+fn try_prefixed_literal(cur: &mut Cursor<'_>, line: u32, col: u32) -> Option<Tok> {
+    let c = cur.peek()?;
+    let (raw_off, byte) = match c {
+        'r' => (1usize, false),
+        'b' => match cur.peek_at(1) {
+            Some('\'') => {
+                // Byte literal b'x'.
+                cur.bump(); // b
+                let mut t = lex_quote(cur, line, col);
+                t.text.insert(0, 'b');
+                t.kind = TokKind::Char;
+                return Some(t);
+            }
+            Some('"') => {
+                cur.bump(); // b
+                let mut t = lex_string(cur, line, col);
+                t.text.insert(0, 'b');
+                return Some(t);
+            }
+            Some('r') => (2usize, true),
+            _ => return None,
+        },
+        _ => return None,
+    };
+    // At this point chars[raw_off - 1] is the `r`. Count `#`s.
+    let mut hashes = 0usize;
+    while cur.peek_at(raw_off + hashes) == Some('#') {
+        hashes += 1;
+    }
+    match cur.peek_at(raw_off + hashes) {
+        Some('"') => {
+            // Raw string. Consume prefix, hashes and opening quote.
+            for _ in 0..(raw_off + hashes + 1) {
+                cur.bump();
+            }
+            let mut text = String::new();
+            if byte {
+                text.push('b');
+            }
+            text.push('r');
+            for _ in 0..hashes {
+                text.push('#');
+            }
+            text.push('"');
+            // Scan for `"` followed by `hashes` `#`s.
+            while let Some(ch) = cur.peek() {
+                if ch == '"' {
+                    let closed = (0..hashes).all(|k| cur.peek_at(1 + k) == Some('#'));
+                    if closed {
+                        text.push('"');
+                        cur.bump();
+                        for _ in 0..hashes {
+                            text.push('#');
+                            cur.bump();
+                        }
+                        break;
+                    }
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            Some(Tok { kind: TokKind::Str, text, line, col })
+        }
+        Some(ch) if hashes == 1 && !byte && is_ident_start(ch) => {
+            // Raw identifier r#ident.
+            cur.bump(); // r
+            cur.bump(); // #
+            let mut text = String::from("r#");
+            while let Some(c2) = cur.peek() {
+                if is_ident_continue(c2) {
+                    text.push(c2);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            Some(Tok { kind: TokKind::Ident, text, line, col })
+        }
+        _ => None,
+    }
+}
+
+/// An ordinary `"…"` string with escape handling.
+fn lex_string(cur: &mut Cursor<'_>, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    text.push('"');
+    cur.bump(); // opening quote
+    while let Some(ch) = cur.peek() {
+        if ch == '\\' {
+            text.push(ch);
+            cur.bump();
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+            continue;
+        }
+        text.push(ch);
+        cur.bump();
+        if ch == '"' {
+            break;
+        }
+    }
+    Tok { kind: TokKind::Str, text, line, col }
+}
+
+/// Disambiguates `'a'` (char literal) from `'a` (lifetime) from `'\n'`.
+fn lex_quote(cur: &mut Cursor<'_>, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    text.push('\'');
+    cur.bump(); // opening quote
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: consume through the closing quote.
+            text.push('\\');
+            cur.bump();
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+            while let Some(ch) = cur.bump() {
+                text.push(ch);
+                if ch == '\'' {
+                    break;
+                }
+            }
+            Tok { kind: TokKind::Char, text, line, col }
+        }
+        Some(c1) if is_ident_start(c1) => {
+            if cur.peek_at(1) == Some('\'') {
+                // 'a' — single-character char literal.
+                text.push(c1);
+                cur.bump();
+                text.push('\'');
+                cur.bump();
+                Tok { kind: TokKind::Char, text, line, col }
+            } else {
+                // Lifetime: 'a, 'static, … (no closing quote).
+                while let Some(ch) = cur.peek() {
+                    if is_ident_continue(ch) {
+                        text.push(ch);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Tok { kind: TokKind::Lifetime, text, line, col }
+            }
+        }
+        Some(c1) => {
+            // Non-identifier char literal: '(' , '0' handled above? digits
+            // are not ident-start, so they land here: '0' etc.
+            text.push(c1);
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                text.push('\'');
+                cur.bump();
+            }
+            Tok { kind: TokKind::Char, text, line, col }
+        }
+        None => Tok { kind: TokKind::Char, text, line, col },
+    }
+}
+
+/// Number literal; classifies int vs float (fraction, exponent or f-suffix).
+fn lex_number(cur: &mut Cursor<'_>, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    let mut float = false;
+    // Radix prefixes are always integers (hex floats do not exist in Rust).
+    if cur.peek() == Some('0') {
+        if let Some(p) = cur.peek_at(1) {
+            if matches!(p, 'x' | 'X' | 'o' | 'O' | 'b' | 'B') {
+                text.push('0');
+                cur.bump();
+                text.push(p);
+                cur.bump();
+                while let Some(ch) = cur.peek() {
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        text.push(ch);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                return Tok { kind: TokKind::Int, text, line, col };
+            }
+        }
+    }
+    let digits = |text: &mut String, cur: &mut Cursor<'_>| {
+        while let Some(ch) = cur.peek() {
+            if ch.is_ascii_digit() || ch == '_' {
+                text.push(ch);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+    };
+    digits(&mut text, cur);
+    // Fraction: `1.5`, or trailing-dot `1.` — but not `1..2` (range) and
+    // not `1.max(2)` (method call on an integer literal).
+    if cur.peek() == Some('.') {
+        let after = cur.peek_at(1);
+        let fraction = match after {
+            Some(c2) if c2.is_ascii_digit() => true,
+            Some('.') => false,
+            Some(c2) if is_ident_start(c2) => false,
+            _ => true, // `1.` at end of expression
+        };
+        if fraction {
+            float = true;
+            text.push('.');
+            cur.bump();
+            digits(&mut text, cur);
+        }
+    }
+    // Exponent: 1e9, 2.6e-7.
+    if matches!(cur.peek(), Some('e' | 'E')) {
+        let (sign, first_digit) = match cur.peek_at(1) {
+            Some('+' | '-') => (true, cur.peek_at(2)),
+            other => (false, other),
+        };
+        if first_digit.is_some_and(|d| d.is_ascii_digit()) {
+            float = true;
+            text.push(cur.bump().expect("peeked e"));
+            if sign {
+                text.push(cur.bump().expect("peeked sign"));
+            }
+            digits(&mut text, cur);
+        }
+    }
+    // Type suffix: 1u64, 1f64, 1.0f32.
+    let mut suffix = String::new();
+    while let Some(ch) = cur.peek() {
+        if is_ident_continue(ch) {
+            suffix.push(ch);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    if suffix == "f32" || suffix == "f64" {
+        float = true;
+    }
+    text.push_str(&suffix);
+    Tok {
+        kind: if float { TokKind::Float } else { TokKind::Int },
+        text,
+        line,
+        col,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).toks.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let t = kinds("let x = a::b(y);");
+        assert_eq!(t[0], (TokKind::Ident, "let".into()));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Punct && s == "::"));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let l = lex(r####"let s = r#"HashMap::new() /* not a comment "quote" "#; x"####);
+        assert_eq!(
+            l.toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+        // Nothing inside the raw string leaks out as tokens.
+        assert!(!l.toks.iter().any(|t| t.is_ident("HashMap")));
+        assert!(l.toks.iter().any(|t| t.is_ident("x")));
+        assert!(l.comments.is_empty());
+    }
+
+    #[test]
+    fn raw_string_with_more_hashes() {
+        let src = "r##\"inner \"# still inside\"##; done";
+        let l = lex(src);
+        assert!(l.toks[0].text.starts_with("r##\""));
+        assert!(l.toks.iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("a /* outer /* inner */ still outer */ b");
+        let names: Vec<_> = l.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'a'; let e = '\\''; let s = 'static_x; }");
+        let lifetimes: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'static_x"]);
+        let chars: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, ["'a'", "'\\''"]);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let l = lex(r#"let a = b'x'; let s = b"bytes"; let r = br"raw";"#);
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Char && t.text == "b'x'"));
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let l = lex("let r#match = 1;");
+        assert!(l.toks.iter().any(|t| t.is_ident("r#match")));
+    }
+
+    #[test]
+    fn numbers_int_vs_float() {
+        let l = lex("0xFF 1_000 1.5 2.6e-7 1e9 1f64 3u32 self.0 1..4 7.max(2)");
+        let f: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Float)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(f, ["1.5", "2.6e-7", "1e9", "1f64"]);
+        // Tuple access and ranges stay integers.
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Int && t.text == "0"));
+        assert!(l.toks.iter().any(|t| t.is_punct("..")));
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Int && t.text == "7"));
+    }
+
+    #[test]
+    fn joined_operators() {
+        let l = lex("a == b != c <= d >= e => f -> g ..= h && i || j");
+        let ops: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ops, ["==", "!=", "<=", ">=", "=>", "->", "..=", "&&", "||"]);
+    }
+
+    #[test]
+    fn comments_carry_lines() {
+        let l = lex("x\n// hh-lint: allow(float-eq)\ny /* b\nc */ z");
+        assert_eq!(l.comments[0].line, 2);
+        assert_eq!(l.comments[1].line, 3);
+        assert_eq!(l.comments[1].end_line, 4);
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let l = lex("/// HashMap in docs\nfn f() {}");
+        assert!(!l.toks.iter().any(|t| t.is_ident("HashMap")));
+        assert_eq!(l.comments.len(), 1);
+    }
+}

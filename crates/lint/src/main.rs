@@ -1,0 +1,76 @@
+//! CLI driver: `hh-lint [--root <dir>] [--format human|json]`.
+//!
+//! Exit code 0 when no deny-level findings remain, 1 when any do, 2 on
+//! usage or I/O errors — so CI can gate on the exit code while archiving
+//! the JSON report.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hh_lint::config::{Config, Level};
+use hh_lint::diag::{render_human, render_json};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: hh-lint [--root <workspace-dir>] [--format human|json]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = String::from("human");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--format" => match args.next() {
+                Some(v) if v == "human" || v == "json" => format = v,
+                _ => return usage(),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "hh-lint: determinism & hot-path lint for the HardHarvest workspace\n\n\
+                     options:\n  --root <dir>     workspace root (default: auto-detect)\n  \
+                     --format <fmt>   human (default) or json\n\n\
+                     rules: {}",
+                    hh_lint::config::RULES.join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    // Auto-detect the workspace root: the manifest dir of this crate is
+    // `<root>/crates/lint` when run via cargo; fall back to the cwd.
+    let root = root.unwrap_or_else(|| {
+        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        manifest
+            .parent()
+            .and_then(|p| p.parent())
+            .map(|p| p.to_path_buf())
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    let config = Config::workspace();
+    let diags = match hh_lint::lint_workspace(&root, &config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("hh-lint: failed to walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    match format.as_str() {
+        "json" => print!("{}", render_json(&diags)),
+        _ => print!("{}", render_human(&diags)),
+    }
+
+    if diags.iter().any(|d| d.level == Level::Deny) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,198 @@
+//! Crate discovery and module-tree traversal.
+//!
+//! The walker mirrors rustc's out-of-line module resolution closely enough
+//! for this workspace: every workspace crate under `crates/` (plus the
+//! root `hardharvest` facade package) contributes roots at `src/lib.rs`,
+//! `src/main.rs` and `src/bin/*.rs`; from each root, `mod foo;`
+//! declarations recurse to `foo.rs` / `foo/mod.rs` relative to the parent
+//! module's directory. `shims/` is deliberately not walked — those crates
+//! stand in for external dependencies and are not workspace code.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{Tok, TokKind};
+
+/// One discovered workspace crate.
+#[derive(Debug, Clone)]
+pub struct CrateInfo {
+    /// Package name from `Cargo.toml` (`hh-sim`, …).
+    pub name: String,
+    /// Root source files (lib.rs / main.rs / bin targets) that exist.
+    pub roots: Vec<PathBuf>,
+}
+
+/// Discovers every workspace crate under `root` (the workspace root).
+pub fn discover(root: &Path) -> io::Result<Vec<CrateInfo>> {
+    let mut crates = Vec::new();
+    let mut manifest_dirs: Vec<PathBuf> = vec![root.to_path_buf()];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut subdirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        subdirs.sort();
+        manifest_dirs.extend(subdirs);
+    }
+    for dir in manifest_dirs {
+        let manifest = dir.join("Cargo.toml");
+        let Ok(text) = fs::read_to_string(&manifest) else { continue };
+        let Some(name) = package_name(&text) else { continue };
+        let mut roots = Vec::new();
+        for rel in ["src/lib.rs", "src/main.rs"] {
+            let p = dir.join(rel);
+            if p.is_file() {
+                roots.push(p);
+            }
+        }
+        let bin_dir = dir.join("src/bin");
+        if bin_dir.is_dir() {
+            let mut bins: Vec<PathBuf> = fs::read_dir(&bin_dir)?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+                .collect();
+            bins.sort();
+            roots.extend(bins);
+        }
+        if !roots.is_empty() {
+            crates.push(CrateInfo { name, roots });
+        }
+    }
+    Ok(crates)
+}
+
+/// Extracts `name = "…"` from a manifest's `[package]` section.
+fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if !in_package {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(rest) = rest.strip_prefix('=') {
+                let rest = rest.trim();
+                let rest = rest.trim_matches('"');
+                return Some(rest.to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Names of out-of-line submodules (`mod foo;`) declared in a token
+/// stream. Inline modules (`mod foo { … }`) need no file lookup.
+pub fn submodule_decls(toks: &[Tok]) -> Vec<String> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("mod") {
+            continue;
+        }
+        // Reject `path::mod`-ish nonsense and `use x as mod` (impossible,
+        // but the guard is one comparison).
+        if i > 0 && (toks[i - 1].is_punct("::") || toks[i - 1].is_punct(".")) {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1) else { continue };
+        if name.kind != TokKind::Ident {
+            continue;
+        }
+        if toks.get(i + 2).is_some_and(|t| t.is_punct(";")) {
+            out.push(name.text.clone());
+        }
+    }
+    out
+}
+
+/// Candidate files for submodule `name` declared in `parent`: rustc looks
+/// in the parent's own directory for crate roots and `mod.rs` files, and
+/// in a directory named after the parent file otherwise.
+pub fn child_candidates(parent: &Path, name: &str) -> Vec<PathBuf> {
+    let dir = parent.parent().unwrap_or(Path::new("."));
+    let stem = parent
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or_default();
+    let base = if matches!(stem, "lib" | "main" | "mod") {
+        dir.to_path_buf()
+    } else {
+        dir.join(stem)
+    };
+    vec![
+        base.join(format!("{name}.rs")),
+        base.join(name).join("mod.rs"),
+    ]
+}
+
+/// All source files of one crate, walked breadth-first from its roots.
+/// Missing child files (e.g. `#[cfg]`-gated platform modules) are skipped
+/// silently; duplicates (a file reachable twice) visit once.
+pub fn crate_files(info: &CrateInfo) -> Vec<PathBuf> {
+    let mut queue: Vec<PathBuf> = info.roots.clone();
+    let mut seen: BTreeSet<PathBuf> = BTreeSet::new();
+    let mut out = Vec::new();
+    while let Some(path) = queue.pop() {
+        if !seen.insert(path.clone()) {
+            continue;
+        }
+        let Ok(src) = fs::read_to_string(&path) else { continue };
+        let lexed = crate::lexer::lex(&src);
+        for name in submodule_decls(&lexed.toks) {
+            for cand in child_candidates(&path, &name) {
+                if cand.is_file() {
+                    queue.push(cand);
+                    break;
+                }
+            }
+        }
+        out.push(path);
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn package_name_parses() {
+        let m = "[package]\nname = \"hh-sim\"\nversion = \"0.1.0\"\n[dependencies]\nname = \"decoy\"\n";
+        assert_eq!(package_name(m).as_deref(), Some("hh-sim"));
+    }
+
+    #[test]
+    fn package_name_ignores_other_sections() {
+        let m = "[workspace]\nmembers = [\"a\"]\n";
+        assert_eq!(package_name(m), None);
+    }
+
+    #[test]
+    fn submodules_out_of_line_only() {
+        let l = lex("mod a;\npub mod b;\nmod inline_one { fn f() {} }\n#[cfg(test)]\nmod tests;\n");
+        assert_eq!(submodule_decls(&l.toks), ["a", "b", "tests"]);
+    }
+
+    #[test]
+    fn child_paths_for_lib_and_named_module() {
+        let lib = Path::new("crates/x/src/lib.rs");
+        let c = child_candidates(lib, "foo");
+        assert_eq!(c[0], Path::new("crates/x/src/foo.rs"));
+        assert_eq!(c[1], Path::new("crates/x/src/foo/mod.rs"));
+
+        let named = Path::new("crates/x/src/foo.rs");
+        let c = child_candidates(named, "bar");
+        assert_eq!(c[0], Path::new("crates/x/src/foo/bar.rs"));
+    }
+}

@@ -1,0 +1,397 @@
+//! The seven rules. Each rule scans one file's token stream through the
+//! [`FileCtx`] lens and emits findings; severity filtering and inline
+//! allow-directives are applied centrally by [`crate::lint_file`].
+//!
+//! Scope conventions shared by the rules:
+//!
+//! * Test-only code (`#[cfg(test)] mod`, `#[test] fn`) is exempt from every
+//!   rule except `pub-field-in-oracle-type` — tests legitimately assert
+//!   bit-exact float equality, poke privates and build throwaway state.
+//!   (Struct declarations do not occur in test mods in this workspace, so
+//!   the exception is theoretical.)
+//! * `use` items themselves are never flagged — findings point at usage
+//!   sites, which is where the fix happens.
+//! * Name resolution is the lexical layer from [`crate::imports`]: a bare
+//!   name resolves through the file's use-tree; a name the file neither
+//!   imports nor defines locally is treated as the std type of that name
+//!   (conservative: `HashMap` that compiles without an import came from a
+//!   glob or prelude-like path).
+
+use crate::config::Level;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::FileCtx;
+
+/// Runs every rule over one file.
+pub fn run_all(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    nondeterministic_collection(ctx, out);
+    wall_clock_in_sim(ctx, out);
+    ambient_rng(ctx, out);
+    unwrap_in_hot_path(ctx, out);
+    float_eq(ctx, out);
+    untraced_transition(ctx, out);
+    pub_field_in_oracle_type(ctx, out);
+}
+
+/// One path expression found in the token stream, after import
+/// resolution. `Instant::now()` under `use std::time::Instant as Clock`
+/// (written `Clock::now()`) resolves to `["std","time","Instant","now"]`.
+struct PathUse {
+    /// Token index of the path's first segment (where findings point).
+    start: usize,
+    /// Segments of the resolved path.
+    resolved: Vec<String>,
+    /// No import matched: the path is exactly as written.
+    unresolved: bool,
+    /// The path is one bare identifier (candidate for local shadowing).
+    single: bool,
+}
+
+/// Collects every path expression outside `use` items and test code.
+/// A path starts at an identifier not preceded by `::` or `.` (so method
+/// and field names never start one, while `collect::<HashMap<_, _>>()`
+/// still yields `HashMap` as its own path inside the turbofish).
+fn path_uses(ctx: &FileCtx<'_>) -> Vec<PathUse> {
+    let toks = ctx.toks;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if i > 0 && (toks[i - 1].is_punct("::") || toks[i - 1].is_punct(".")) {
+            continue;
+        }
+        if ctx.in_use_item(i) || ctx.index.in_test(i) {
+            continue;
+        }
+        let mut full = t.text.clone();
+        let mut j = i;
+        while toks.get(j + 1).is_some_and(|p| p.is_punct("::"))
+            && toks.get(j + 2).is_some_and(|n| n.kind == TokKind::Ident)
+        {
+            full.push_str("::");
+            full.push_str(&toks[j + 2].text);
+            j += 2;
+        }
+        let resolved = ctx.imports.resolve(&full);
+        out.push(PathUse {
+            start: i,
+            unresolved: resolved == full,
+            single: j == i,
+            resolved: resolved.split("::").map(str::to_string).collect(),
+        });
+    }
+    out
+}
+
+impl PathUse {
+    fn contains(&self, seg: &str) -> bool {
+        self.resolved.iter().any(|s| s == seg)
+    }
+
+    fn first(&self) -> &str {
+        self.resolved.first().map(String::as_str).unwrap_or("")
+    }
+}
+
+/// Whether the file itself declares a struct/enum-free type of this name
+/// (only structs are indexed; good enough for shadowing detection).
+fn locally_defined(ctx: &FileCtx<'_>, name: &str) -> bool {
+    ctx.index.structs.iter().any(|s| s.name == name)
+}
+
+/// Rule 1: `HashMap`/`HashSet` in sim-visible state. Their iteration order
+/// is randomized per process (`RandomState`), so any order-dependent use
+/// breaks the bit-exact determinism the figure tables rely on.
+fn nondeterministic_collection(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.level("nondeterministic-collection") == Level::Allow {
+        return;
+    }
+    for p in path_uses(ctx) {
+        let Some(name) = ["HashMap", "HashSet"].iter().find(|n| p.contains(n)) else {
+            continue;
+        };
+        let known_hash = (p.first() == "std" && p.contains("collections"))
+            || p.first() == "hashbrown";
+        if !(known_hash || p.unresolved) {
+            continue;
+        }
+        if p.single && locally_defined(ctx, name) {
+            continue;
+        }
+        let ordered = if *name == "HashMap" { "BTreeMap" } else { "BTreeSet" };
+        ctx.emit(
+            out,
+            "nondeterministic-collection",
+            &ctx.toks[p.start],
+            format!("`{name}` in sim-visible state has nondeterministic iteration order"),
+            format!(
+                "use `std::collections::{ordered}` (or an FNV/index map with insertion order) so replays and worker counts cannot reorder state"
+            ),
+        );
+    }
+}
+
+/// Rule 2: host wall-clock (`Instant`, `SystemTime`) outside the exec-span
+/// collector and the bench harness. Wall time leaking into simulated time
+/// makes runs irreproducible.
+fn wall_clock_in_sim(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.level("wall-clock-in-sim") == Level::Allow {
+        return;
+    }
+    for p in path_uses(ctx) {
+        let Some(name) = ["Instant", "SystemTime"].iter().find(|n| p.contains(n)) else {
+            continue;
+        };
+        let known_clock =
+            (p.first() == "std" || p.first() == "core") && p.contains("time");
+        if !(known_clock || p.unresolved) {
+            continue;
+        }
+        if p.single && locally_defined(ctx, name) {
+            continue;
+        }
+        ctx.emit(
+            out,
+            "wall-clock-in-sim",
+            &ctx.toks[p.start],
+            format!("host wall-clock `{name}` in simulation code"),
+            "simulated time must come from the event queue (`Cycles`); host timing belongs in hh-trace's exec collector or the bench bins".to_string(),
+        );
+    }
+}
+
+/// Ambient entropy sources rule 3 recognizes by bare name.
+const RNG_NAMES: &[&str] = &[
+    "thread_rng",
+    "OsRng",
+    "StdRng",
+    "SmallRng",
+    "from_entropy",
+    "getrandom",
+    "RandomState",
+    "DefaultHasher",
+];
+
+/// Rule 3: ambient RNG. Every stochastic component must own an
+/// `hh_sim::Rng64` derived from the experiment seed; entropy from the OS
+/// or a thread-local generator is unreproducible by construction.
+fn ambient_rng(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.level("ambient-rng") == Level::Allow {
+        return;
+    }
+    for p in path_uses(ctx) {
+        let from_rand_crate = p.first() == "rand"
+            || p.first().starts_with("rand_")
+            || p.first() == "getrandom";
+        let named = p
+            .resolved
+            .iter()
+            .find(|s| RNG_NAMES.contains(&s.as_str()));
+        if !from_rand_crate && named.is_none() {
+            continue;
+        }
+        if let Some(name) = named {
+            if p.single && locally_defined(ctx, name) {
+                continue;
+            }
+        }
+        let what = named
+            .map(String::as_str)
+            .unwrap_or_else(|| p.first())
+            .to_string();
+        ctx.emit(
+            out,
+            "ambient-rng",
+            &ctx.toks[p.start],
+            format!("ambient randomness via `{what}`"),
+            "thread all randomness through a seeded `hh_sim::Rng64` stream (seed ^ stream id) so every run replays bit-for-bit".to_string(),
+        );
+    }
+}
+
+/// Rule 4: `unwrap`/`expect`/`panic!` in hot paths — the known hot modules
+/// plus any `#[inline]` function. A panic branch in the per-access path
+/// costs branch-predictor slots and poisons inlining; hot paths propagate
+/// or use infallible shapes instead (outside `debug_assert!`, which
+/// vanishes in release builds).
+fn unwrap_in_hot_path(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.level("unwrap-in-hot-path") == Level::Allow {
+        return;
+    }
+    let hot_file = ctx.config.is_hot_module(&ctx.display_path);
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let is_unwrap = (t.text == "unwrap" || t.text == "expect")
+            && i > 0
+            && ctx.toks[i - 1].is_punct(".")
+            && ctx.toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+        let is_panic = t.text == "panic"
+            && ctx.toks.get(i + 1).is_some_and(|n| n.is_punct("!"));
+        if !(is_unwrap || is_panic) {
+            continue;
+        }
+        if ctx.index.in_test(i) || ctx.index.in_debug_assert(i) {
+            continue;
+        }
+        let in_hot_scope = hot_file
+            || ctx
+                .index
+                .enclosing_fn(i)
+                .is_some_and(|f| f.inline);
+        if !in_hot_scope {
+            continue;
+        }
+        let what = if is_panic { "panic!".to_string() } else { format!(".{}()", t.text) };
+        ctx.emit(
+            out,
+            "unwrap-in-hot-path",
+            t,
+            format!("`{what}` on a hot path"),
+            "restructure so the invariant is by-construction, return the error, or justify with `// hh-lint: allow(unwrap-in-hot-path): <why>`".to_string(),
+        );
+    }
+}
+
+/// Rule 5: direct `==`/`!=` on float expressions (detected via an adjacent
+/// float literal). Exact float equality is almost always a latent ULP bug;
+/// compare with an epsilon, a total order (`f64::total_cmp`), or restate
+/// the test on the integer domain.
+fn float_eq(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.level("float-eq") == Level::Allow {
+        return;
+    }
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if t.kind != TokKind::Punct || (t.text != "==" && t.text != "!=") {
+            continue;
+        }
+        if ctx.index.in_test(i) {
+            continue;
+        }
+        let prev_float = i > 0 && ctx.toks[i - 1].kind == TokKind::Float;
+        // Look through a unary minus: `x == -0.0` lexes as `== - 0.0`.
+        let next_float = match ctx.toks.get(i + 1) {
+            Some(n) if n.kind == TokKind::Float => true,
+            Some(n) if n.is_punct("-") => ctx
+                .toks
+                .get(i + 2)
+                .is_some_and(|m| m.kind == TokKind::Float),
+            _ => false,
+        };
+        if !(prev_float || next_float) {
+            continue;
+        }
+        ctx.emit(
+            out,
+            "float-eq",
+            t,
+            format!("direct float `{}` comparison", t.text),
+            "compare via `f64::total_cmp`, an explicit epsilon, or test the integer source of the value instead".to_string(),
+        );
+    }
+}
+
+/// Rule 6: a function that performs a named sim-state transition (core
+/// lend/reclaim, flush, enqueue) but contains no trace evidence — neither a
+/// `trace_*!` macro nor a call to a tracing helper. Untraced transitions
+/// are invisible to the Perfetto timeline and to post-hoc debugging of
+/// determinism splits.
+fn untraced_transition(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.level("untraced-transition") == Level::Allow {
+        return;
+    }
+    for f in &ctx.index.fns {
+        let Some((a, b)) = f.body else { continue };
+        if ctx.index.in_test(f.fn_idx) || f.test {
+            continue;
+        }
+        let mut first_trigger: Option<usize> = None;
+        let mut evidence = false;
+        for i in a..=b {
+            let t = &ctx.toks[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let is_call = ctx.toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+            let is_method = i > 0 && ctx.toks[i - 1].is_punct(".");
+            if is_call
+                && is_method
+                && ctx.config.transition_triggers.iter().any(|m| *m == t.text)
+            {
+                first_trigger.get_or_insert(i);
+            }
+            if ctx.config.trace_macros.iter().any(|m| *m == t.text)
+                && ctx.toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+            {
+                evidence = true;
+            }
+            if is_call && is_method && ctx.config.trace_helpers.iter().any(|m| *m == t.text) {
+                evidence = true;
+            }
+        }
+        if let Some(i) = first_trigger {
+            if !evidence {
+                let t = &ctx.toks[i];
+                ctx.emit(
+                    out,
+                    "untraced-transition",
+                    t,
+                    format!(
+                        "fn `{}` mutates sim state via `.{}()` without emitting a trace event",
+                        f.name, t.text
+                    ),
+                    "add a `trace_event!`-family call (or route through note_flush/note_reassign) so the transition shows up on the Perfetto timeline".to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// Rule 7: `pub` fields on types the hh-check oracle diffs. Their
+/// constructors establish invariants (sorted-cache flags, partition masks,
+/// FIFO counters, label consistency); a public mutable field lets callers
+/// bypass them and desynchronize the optimized and reference models.
+fn pub_field_in_oracle_type(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.level("pub-field-in-oracle-type") == Level::Allow {
+        return;
+    }
+    for s in &ctx.index.structs {
+        if !ctx.config.oracle_types.iter().any(|t| *t == s.name) {
+            continue;
+        }
+        let (open, close) = s.body;
+        let mut depth = 0usize;
+        let mut i = open + 1;
+        while i < close {
+            let t = &ctx.toks[i];
+            if t.is_punct("{") || t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct("}") || t.is_punct(")") || t.is_punct("]") {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && t.is_ident("pub") {
+                // `pub(crate)` / `pub(super)` keep the invariant inside the
+                // crate that owns it — only bare `pub` is flagged.
+                let scoped = ctx.toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+                let field = ctx.toks.get(i + 1).filter(|n| n.kind == TokKind::Ident);
+                if let (false, Some(field)) = (scoped, field) {
+                    if ctx.toks.get(i + 2).is_some_and(|n| n.is_punct(":")) {
+                        ctx.emit(
+                            out,
+                            "pub-field-in-oracle-type",
+                            t,
+                            format!(
+                                "public field `{}` on oracle-diffed type `{}`",
+                                field.text, s.name
+                            ),
+                            "make the field private (or pub(crate)) and expose an accessor; construction must go through the invariant-checked constructor".to_string(),
+                        );
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Fixture-corpus harness.
+//!
+//! Each file under `tests/lint_corpus/` is linted with the corpus policy
+//! (every rule at deny, the fixture itself counted as a hot module) and
+//! its findings are compared against inline `//~ rule-id` annotations:
+//! an annotation names each finding expected on its own line, one rule id
+//! per finding (repeat the id for multiple findings on one line). The
+//! comparison is exact in both directions, so a fixture fails both when a
+//! rule misses its target and when it over-fires — and, because expected
+//! annotations stop matching, when a rule is disabled
+//! (`every_rule_has_corpus_coverage` pins that property explicitly).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use hh_lint::config::{Config, Level, RULES};
+use hh_lint::lint_file;
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/lint_corpus")
+}
+
+/// Expected `(line, rule)` pairs parsed from `//~` annotations.
+fn expectations(src: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let Some(pos) = line.find("//~") else { continue };
+        for rule in line[pos + 3..].split_whitespace() {
+            assert!(
+                RULES.contains(&rule),
+                "annotation names unknown rule `{rule}` on line {}",
+                idx + 1
+            );
+            out.push((idx as u32 + 1, rule.to_string()));
+        }
+    }
+    out
+}
+
+fn findings(src: &str, name: &str, cfg: &Config) -> Vec<(u32, String)> {
+    lint_file("hh-corpus", name, src, cfg)
+        .into_iter()
+        .map(|d| (d.line, d.rule.to_string()))
+        .collect()
+}
+
+fn check_fixture(name: &str) {
+    let path = corpus_dir().join(name);
+    let src = fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {name}: {e}"));
+    let cfg = Config::corpus();
+    let mut actual = findings(&src, name, &cfg);
+    let mut expected = expectations(&src);
+    actual.sort();
+    expected.sort();
+    assert_eq!(
+        actual, expected,
+        "fixture {name}: findings (left) disagree with //~ annotations (right)"
+    );
+}
+
+#[test]
+fn collections_fixture() {
+    check_fixture("collections.rs");
+}
+
+#[test]
+fn wall_clock_fixture() {
+    check_fixture("wall_clock.rs");
+}
+
+#[test]
+fn rng_fixture() {
+    check_fixture("rng.rs");
+}
+
+#[test]
+fn hot_unwrap_fixture() {
+    check_fixture("hot_unwrap.rs");
+}
+
+#[test]
+fn hot_mod_fixture() {
+    check_fixture("hot_mod.rs");
+}
+
+#[test]
+fn float_eq_fixture() {
+    check_fixture("float_eq.rs");
+}
+
+#[test]
+fn transitions_fixture() {
+    check_fixture("transitions.rs");
+}
+
+#[test]
+fn oracle_pub_fixture() {
+    check_fixture("oracle_pub.rs");
+}
+
+#[test]
+fn lexer_torture_fixture() {
+    check_fixture("lexer_torture.rs");
+}
+
+#[test]
+fn allows_fixture() {
+    check_fixture("allows.rs");
+}
+
+#[test]
+fn shadowing_fixture() {
+    check_fixture("shadowing.rs");
+}
+
+/// Disabling any single rule must lose at least one expected finding
+/// somewhere in the corpus — i.e. every rule has a fixture with teeth.
+#[test]
+fn every_rule_has_corpus_coverage() {
+    let dir = corpus_dir();
+    let mut fixtures = Vec::new();
+    for entry in fs::read_dir(&dir).expect("corpus dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            let name = path.file_name().unwrap().to_string_lossy().to_string();
+            let src = fs::read_to_string(&path).expect("read fixture");
+            fixtures.push((name, src));
+        }
+    }
+    assert!(fixtures.len() >= 10, "corpus went missing?");
+
+    let full: usize = {
+        let cfg = Config::corpus();
+        fixtures
+            .iter()
+            .map(|(n, s)| findings(s, n, &cfg).len())
+            .sum()
+    };
+    for rule in RULES {
+        let mut cfg = Config::corpus();
+        cfg.default_levels.insert(rule, Level::Allow);
+        let without: usize = fixtures
+            .iter()
+            .map(|(n, s)| findings(s, n, &cfg).len())
+            .sum();
+        assert!(
+            without < full,
+            "disabling `{rule}` loses no findings: the rule has no corpus coverage"
+        );
+    }
+}

@@ -1,0 +1,28 @@
+// Fixture: inline allow directives. A directive suppresses only the
+// named rules, only on its own line and the line immediately after.
+
+fn same_line(a: f64) -> bool {
+    a == 0.0 // hh-lint: allow(float-eq): sentinel encodes "no sample yet"
+}
+
+fn line_above(b: f64) -> bool {
+    // hh-lint: allow(float-eq): exact dyadic comparison
+    b == 0.5
+}
+
+fn multi_rule() {
+    // hh-lint: allow(wall-clock-in-sim, float-eq): calibration helper
+    let t = std::time::Instant::now();
+    let _ = t;
+}
+
+fn wrong_rule_does_not_cover(c: f64) -> bool {
+    // hh-lint: allow(wall-clock-in-sim): misdirected
+    c == 0.25 //~ float-eq
+}
+
+fn too_far_away(d: f64) -> bool {
+    // hh-lint: allow(float-eq): only reaches the next line
+    let unrelated = d + 1.0;
+    unrelated == 2.0 //~ float-eq
+}

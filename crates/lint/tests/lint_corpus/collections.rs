@@ -1,0 +1,37 @@
+// Fixture: nondeterministic-collection.
+// Findings are annotated with tilde markers; unannotated lines must stay
+// clean. This file is lint input, never compiled.
+
+use std::collections::HashMap; // the use item itself is not flagged
+use std::collections::HashSet as FastSet;
+use std::collections::BTreeMap;
+
+struct State {
+    by_id: HashMap<u64, u64>, //~ nondeterministic-collection
+    tags: FastSet<u64>, //~ nondeterministic-collection
+    ordered: BTreeMap<u64, u64>,
+}
+
+fn build() -> State {
+    let by_id = HashMap::new(); //~ nondeterministic-collection
+    let tags = FastSet::new(); //~ nondeterministic-collection
+    let ordered = BTreeMap::new();
+    State { by_id, tags, ordered }
+}
+
+fn qualified() {
+    let _m: std::collections::HashMap<u64, u64> = std::collections::HashMap::new(); //~ nondeterministic-collection nondeterministic-collection
+    let _h = hashbrown::HashMap::<u64, u64>::new(); //~ nondeterministic-collection
+}
+
+fn turbofish(xs: &[u64]) {
+    let _s = xs.iter().copied().collect::<HashSet<u64>>(); //~ nondeterministic-collection
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reference_model_may_hash() {
+        let _m: std::collections::HashMap<u64, u64> = Default::default();
+    }
+}

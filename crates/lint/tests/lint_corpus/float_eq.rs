@@ -1,0 +1,50 @@
+// Fixture: float-eq. Exact equality against float literals is flagged;
+// ranges, orderings, integer comparisons and total-order idioms are not.
+
+fn exact(a: f64, b: f64) -> bool {
+    let zero = a == 0.0; //~ float-eq
+    let one = 1.0 != b; //~ float-eq
+    zero || one
+}
+
+fn negative_zero(x: f64) -> bool {
+    x == -0.0 //~ float-eq
+}
+
+fn scientific(x: f64) -> bool {
+    x != 2.5e-3 //~ float-eq
+}
+
+fn ranges_are_fine(x: f64) -> bool {
+    (0.0..=1.0).contains(&x)
+}
+
+fn orderings_are_fine(x: f64) -> bool {
+    x < 0.5 && x >= 0.125
+}
+
+fn integers_are_fine(n: u64) -> bool {
+    n == 0
+}
+
+fn total_order(a: f64) -> bool {
+    a.total_cmp(&0.5).is_lt()
+}
+
+fn epsilon(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-12
+}
+
+fn justified(span: f64) -> bool {
+    // hh-lint: allow(float-eq): span is a sum of exact dyadic steps
+    span == 0.25
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bit_exact_assertions_allowed_in_tests() {
+        let x = 0.1 + 0.2;
+        assert!(x != 0.3);
+    }
+}

@@ -1,0 +1,42 @@
+// Fixture: unwrap-in-hot-path, whole-file scope. The corpus policy lists
+// `hot_mod.rs` as a hot module, so every non-test function here is hot
+// even without `#[inline]`.
+
+pub struct Ring {
+    slots: Vec<u64>,
+    head: usize,
+}
+
+impl Ring {
+    pub fn pop(&mut self) -> u64 {
+        let v = self.slots.get(self.head).copied().unwrap(); //~ unwrap-in-hot-path
+        self.head += 1;
+        v
+    }
+
+    pub fn peek(&self) -> u64 {
+        *self.slots.first().expect("ring is non-empty") //~ unwrap-in-hot-path
+    }
+
+    pub fn checked_pop(&mut self) -> Option<u64> {
+        let v = self.slots.get(self.head).copied()?;
+        self.head += 1;
+        Some(v)
+    }
+
+    pub fn audited(&self) -> u64 {
+        // hh-lint: allow(unwrap-in-hot-path): len checked at construction
+        self.slots.last().copied().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Ring;
+
+    #[test]
+    fn pop_order() {
+        let mut r = Ring { slots: vec![1, 2], head: 0 };
+        assert_eq!(r.checked_pop().unwrap(), 1);
+    }
+}

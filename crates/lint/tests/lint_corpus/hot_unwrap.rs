@@ -1,0 +1,47 @@
+// Fixture: unwrap-in-hot-path, #[inline] scope. This file is NOT a
+// configured hot module, so only `#[inline]` function bodies are hot.
+
+/// Calling `.unwrap()` in a doc comment is prose, not code.
+#[inline]
+pub fn hot_lookup(xs: &[u64], i: usize) -> u64 {
+    let v = xs.get(i).unwrap(); //~ unwrap-in-hot-path
+    *v
+}
+
+#[inline(always)]
+fn hot_expect(x: Option<u64>) -> u64 {
+    x.expect("present") //~ unwrap-in-hot-path
+}
+
+#[inline]
+fn hot_panic(x: u64) -> u64 {
+    if x == 0 {
+        panic!("zero"); //~ unwrap-in-hot-path
+    }
+    x
+}
+
+#[inline]
+fn hot_but_guarded(xs: &[u64]) -> u64 {
+    debug_assert!(xs.first().unwrap() < &10); // debug-only, compiled out
+    xs.len() as u64
+}
+
+fn cold_setup(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap() // cold path: unwrap is fine
+}
+
+#[inline]
+fn hot_justified(x: Option<u64>) -> u64 {
+    // hh-lint: allow(unwrap-in-hot-path): index validated by caller
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_unwrap_freely() {
+        let v: Option<u64> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

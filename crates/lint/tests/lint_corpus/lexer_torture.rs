@@ -1,0 +1,63 @@
+// Fixture: lexer corner cases. Everything below smuggles rule-trigger
+// text through strings, comments, lifetimes and numeric edge cases; none
+// of it may produce a finding until the one real violation at the end.
+
+/// Doc comments may say `HashMap`, `Instant::now()` and `x.unwrap()`.
+fn strings_hide_everything() -> &'static str {
+    let plain = "HashMap::new() == 0.0 && Instant::now()";
+    let raw = r#"thread_rng() "quoted" SystemTime"#;
+    let more = r##"ends with "# not here: "##;
+    let bytes = b"HashSet == 1.0";
+    let raw_bytes = br"getrandom unwrap()";
+    let _ = (plain, raw, more, bytes, raw_bytes);
+    "done"
+}
+
+/* Block comments nest: /* HashMap == 0.0 */ still inside the outer
+   comment, where Instant::now().unwrap() is prose. */
+
+fn lifetimes_vs_chars<'a>(x: &'a str) -> (&'a str, char, u8) {
+    let c = 'a';
+    let esc = '\'';
+    let byte = b'x';
+    let byte_esc = b'\'';
+    let _ = (esc, byte_esc);
+    (x, c, byte)
+}
+
+fn numbers_that_look_floaty(t: (u64, f64)) -> u64 {
+    let tuple_access = t.0;
+    let range_sum: u64 = (1..4).sum();
+    let inclusive: u64 = (1..=3).sum();
+    let method_on_int = 7.max(2);
+    let hex = 0xFF_u64;
+    let float_no_cmp = 2.5e-3_f64 + 1.0 + 10.5;
+    let _ = float_no_cmp;
+    tuple_access + range_sum + inclusive + method_on_int + hex
+}
+
+macro_rules! table {
+    ($($k:expr => $v:expr),*) => {
+        vec![$(($k, $v)),*]
+    };
+}
+
+fn macro_bodies() -> Vec<(u64, f64)> {
+    println!("fmt only: {} == {}", 1.0, 2.0);
+    table![1 => 1.5, 2 => 2.5]
+}
+
+#[cfg(feature = "never-on")]
+fn cfg_gated(xs: &[u64]) -> u64 {
+    xs.iter().copied().sum()
+}
+
+fn raw_identifiers() -> u64 {
+    let r#match = 3_u64;
+    let r#type = 4_u64;
+    r#match + r#type
+}
+
+fn the_one_real_violation(x: f64) -> bool {
+    x == 0.125 //~ float-eq
+}

@@ -1,0 +1,40 @@
+// Fixture: pub-field-in-oracle-type. Types the hh-check oracle diffs
+// (SetAssocCache, Samples, Subqueue, ClusterMetrics) must keep their
+// fields private so constructor invariants cannot be bypassed.
+
+pub struct Samples {
+    pub values: Vec<f64>, //~ pub-field-in-oracle-type
+    pub sorted: bool, //~ pub-field-in-oracle-type
+    count: usize,
+}
+
+pub struct ClusterMetrics {
+    pub(crate) system: &'static str,
+    servers: Vec<u64>,
+}
+
+pub struct SetAssocCache {
+    sets: Vec<u64>,
+    ways: usize,
+}
+
+pub struct Subqueue {
+    tokens: Vec<u64>,
+    pub depth: usize, //~ pub-field-in-oracle-type
+}
+
+// Not an oracle type: free to expose whatever it wants.
+pub struct ScratchPad {
+    pub anything: Vec<u64>,
+    pub goes: bool,
+}
+
+impl Samples {
+    pub fn len(&self) -> usize {
+        self.count
+    }
+}
+
+fn uses(c: &SetAssocCache, m: &ClusterMetrics) -> usize {
+    c.sets.len() + c.ways + m.servers.len() + m.system.len()
+}

@@ -1,0 +1,59 @@
+// Fixture: ambient-rng. Any entropy that does not flow from the seeded
+// experiment config is flagged: the rand crate family, OS entropy, and
+// std's randomized hasher state.
+
+use rand::thread_rng;
+
+fn ambient() -> u64 {
+    let mut rng = thread_rng(); //~ ambient-rng
+    let _ = &mut rng;
+    0
+}
+
+fn qualified() -> u64 {
+    let _x: u64 = rand::random(); //~ ambient-rng
+    0
+}
+
+fn from_entropy_ctor() {
+    let _r = StdRng::from_entropy(); //~ ambient-rng
+}
+
+fn os_entropy() {
+    let mut buf = [0u8; 8];
+    getrandom::getrandom(&mut buf); //~ ambient-rng
+}
+
+fn hasher_state() {
+    let _s = std::collections::hash_map::RandomState::new(); //~ ambient-rng
+    let _h = std::hash::DefaultHasher::new(); //~ ambient-rng
+}
+
+// The blessed path: a generator seeded from the experiment config.
+fn seeded(seed: u64) -> u64 {
+    let mut rng = Rng64::new(seed ^ 0x9e37);
+    rng.next_u64()
+}
+
+struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    fn new(seed: u64) -> Rng64 {
+        Rng64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn proptest_shrink_seed_is_test_only() {
+        let _s = std::collections::hash_map::RandomState::new();
+    }
+}

@@ -1,0 +1,24 @@
+// Fixture: local types that merely share a name with a banned std type.
+// Shadow detection is file-scoped (like import collection), so a local
+// `struct HashMap` absolves bare single-segment uses anywhere in this
+// file — but fully-qualified std paths are still the real thing.
+
+/// A dense, insertion-ordered stand-in that happens to reuse the name.
+struct HashMap {
+    keys: Vec<u64>,
+    vals: Vec<u64>,
+}
+
+struct Instant {
+    cycles: u64,
+}
+
+fn local_types_are_fine(m: &HashMap, t: &Instant) -> u64 {
+    let m2: HashMap = HashMap { keys: vec![], vals: vec![] };
+    m.keys.len() as u64 + m2.vals.len() as u64 + t.cycles
+}
+
+fn qualified_is_still_banned() {
+    let _m: std::collections::HashMap<u64, u64> = std::collections::HashMap::new(); //~ nondeterministic-collection nondeterministic-collection
+    let _t = std::time::Instant::now(); //~ wall-clock-in-sim
+}

@@ -1,0 +1,59 @@
+// Fixture: untraced-transition. A function that performs a named
+// sim-state transition (lend/reclaim/flush/enqueue) must leave trace
+// evidence: a trace_*! macro or a call to a tracing helper.
+
+struct Sim {
+    ctrl: Ctrl,
+}
+
+struct Ctrl {
+    depth: u64,
+}
+
+impl Ctrl {
+    fn enqueue(&mut self, _id: u64) {
+        self.depth += 1;
+    }
+
+    fn lend_core(&mut self) {}
+    fn reclaim_core(&mut self) {}
+    fn flush_all(&mut self) {}
+}
+
+impl Sim {
+    fn silent_arrival(&mut self, id: u64) {
+        self.ctrl.enqueue(id); //~ untraced-transition
+    }
+
+    fn traced_arrival(&mut self, id: u64) {
+        self.ctrl.enqueue(id);
+        trace_event!(queue, "arrival", id);
+    }
+
+    fn helper_traced_lend(&mut self) {
+        self.ctrl.lend_core();
+        self.note_reassign(1);
+    }
+
+    fn silent_flush(&mut self) {
+        self.ctrl.flush_all(); //~ untraced-transition
+        self.ctrl.reclaim_core();
+    }
+
+    fn no_transition_here(&self) -> u64 {
+        self.ctrl.depth
+    }
+
+    fn note_reassign(&mut self, _n: u64) {
+        trace_count!(reassigned, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_drive_transitions_silently() {
+        let mut c = super::Ctrl { depth: 0 };
+        c.enqueue(7);
+    }
+}

@@ -1,0 +1,42 @@
+// Fixture: wall-clock-in-sim. Host time sources are flagged wherever the
+// crate policy denies them; simulated clocks are not.
+
+use std::time::Instant;
+use std::time::SystemTime as Wall;
+use std::time::Duration;
+
+fn measure() -> f64 {
+    let t0 = Instant::now(); //~ wall-clock-in-sim
+    let _ = t0;
+    0.0
+}
+
+fn renamed() {
+    let _now = Wall::now(); //~ wall-clock-in-sim
+}
+
+fn qualified() {
+    let _t = std::time::Instant::now(); //~ wall-clock-in-sim
+    let _e = std::time::SystemTime::UNIX_EPOCH; //~ wall-clock-in-sim
+}
+
+fn durations_are_fine(d: Duration) -> u64 {
+    d.as_micros() as u64
+}
+
+// The simulator's own clock type is not the host clock.
+struct Instant2 {
+    cycles: u64,
+}
+
+fn sim_clock(c: &Instant2) -> u64 {
+    c.cycles
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_inside_tests_is_not_sim_time() {
+        let _t0 = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,48 @@
+//! The acceptance gate: the workspace's own sources must be lint-clean
+//! under the CI policy. Any new HashMap-in-sim-state, wall-clock leak,
+//! ambient RNG, hot-path unwrap, float `==`, untraced transition or
+//! oracle-type pub field fails `cargo test` as well as the CI lint step.
+
+use std::path::Path;
+
+use hh_lint::config::Config;
+use hh_lint::diag::render_human;
+use hh_lint::lint_workspace;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root");
+    let diags = lint_workspace(root, &Config::workspace()).expect("walk workspace");
+    assert!(
+        diags.is_empty(),
+        "workspace has lint findings:\n{}",
+        render_human(&diags)
+    );
+}
+
+#[test]
+fn workspace_walk_covers_the_known_crates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let crates = hh_lint::modwalk::discover(root).expect("discover");
+    let names: Vec<&str> = crates.iter().map(|c| c.name.as_str()).collect();
+    for expected in [
+        "hardharvest",
+        "hh-bench",
+        "hh-check",
+        "hh-core",
+        "hh-hwqueue",
+        "hh-lint",
+        "hh-mem",
+        "hh-server",
+        "hh-sim",
+        "hh-trace",
+    ] {
+        assert!(names.contains(&expected), "missing crate {expected} in {names:?}");
+    }
+}

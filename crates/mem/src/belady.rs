@@ -6,7 +6,7 @@
 //! [`crate::SetAssocCache`] under LRU/RRIP/HardHarvest gives the comparable
 //! online numbers.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::{CacheStats, WayMask};
 
@@ -78,7 +78,7 @@ impl BeladyCache {
     pub fn run(&self, trace: &[TraceOp]) -> CacheStats {
         // Pass 1a: successor index for each access.
         let mut next = vec![usize::MAX; trace.len()];
-        let mut last_seen: HashMap<u64, usize> = HashMap::new();
+        let mut last_seen: BTreeMap<u64, usize> = BTreeMap::new();
         for (i, op) in trace.iter().enumerate() {
             if let TraceOp::Access { key, .. } = op {
                 if let Some(&prev) = last_seen.get(key) {

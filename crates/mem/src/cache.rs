@@ -370,6 +370,8 @@ impl SetAssocCache {
             return w;
         }
         self.lru_of(base, eff, |_| true)
+            // hh-lint: allow(unwrap-in-hot-path): `eff` was checked
+            // non-empty at lookup entry; an empty mask cannot reach here.
             .expect("allowed mask verified non-empty")
     }
 
@@ -443,12 +445,16 @@ impl SetAssocCache {
             pick_lru(non_harv, true)
                 .or_else(|| pick_lru(harv, true))
                 .or_else(|| pick_lru(eff, false))
+                // hh-lint: allow(unwrap-in-hot-path): the final fallback
+                // scanned the full effective mask, which is non-empty here.
                 .expect("candidate window is non-empty")
         } else {
             // Private victim in Harv, then private in Non-Harv, then any.
             pick_lru(harv, true)
                 .or_else(|| pick_lru(non_harv, true))
                 .or_else(|| pick_lru(eff, false))
+                // hh-lint: allow(unwrap-in-hot-path): the final fallback
+                // scanned the full effective mask, which is non-empty here.
                 .expect("candidate window is non-empty")
         }
     }

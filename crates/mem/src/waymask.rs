@@ -59,7 +59,9 @@ impl WayMask {
     /// Panics if `fraction` is outside `[0, 1]`.
     pub fn fraction(total: usize, fraction: f64) -> Self {
         assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
-        if fraction == 0.0 {
+        // total_cmp on the absolute value treats -0.0 like 0.0, exactly as
+        // the old `== 0.0` did, without a direct float equality.
+        if fraction.abs().total_cmp(&0.0).is_eq() {
             return WayMask::EMPTY;
         }
         let n = ((total as f64 * fraction).round() as usize).clamp(1, total);

@@ -102,11 +102,12 @@ impl ServerMetrics {
 
     /// Batch throughput in work units per second.
     pub fn batch_units_per_sec(&self) -> f64 {
-        let secs = self.end_time.as_secs();
-        if secs == 0.0 {
+        // Zero elapsed time iff zero cycles: test the integer source
+        // instead of comparing the derived float for equality.
+        if self.end_time.as_u64() == 0 {
             0.0
         } else {
-            self.batch_units as f64 / secs
+            self.batch_units as f64 / self.end_time.as_secs()
         }
     }
 

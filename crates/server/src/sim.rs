@@ -1,6 +1,6 @@
 //! The per-server discrete-event simulation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hh_hwqueue::{Controller, ControllerConfig, EnqueueOutcome, VmKind};
 use hh_mem::{CoreMem, Dram, Llc, PolicyKind, Visibility};
@@ -126,7 +126,7 @@ pub struct ServerSim {
     /// Regular NoC carrying Request-Context-Memory traffic (Section 4.1.8).
     mesh: Mesh2D,
     rng: Rng64,
-    requests: HashMap<u64, Req>,
+    requests: BTreeMap<u64, Req>,
     /// Pre-generated arrival streams per Primary VM (reversed: pop()).
     pending_arrivals: Vec<Vec<Cycles>>,
     next_token: u64,
@@ -276,7 +276,7 @@ impl ServerSim {
             tree: ControlTree::table1(),
             mesh: Mesh2D::table1(),
             rng: Rng64::stream(cfg.seed, 0xFEED),
-            requests: HashMap::new(),
+            requests: BTreeMap::new(),
             pending_arrivals,
             next_token: 1,
             next_invocation: 0,

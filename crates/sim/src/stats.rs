@@ -168,18 +168,22 @@ impl Samples {
         if self.unsorted_queries > Self::SORT_AFTER {
             // Repeated quantile queries against the same data: sort once
             // and serve every later query by index.
-            self.values
-                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+            // total_cmp gives a total order (NaN-proof, and -0.0 < +0.0
+            // deterministically), so the cached-sort path and the one-shot
+            // selection below place bit-identical elements at every rank.
+            self.values.sort_by(|a, b| a.total_cmp(b));
             self.sorted = true;
             self.unsorted_queries = 0;
             return self.values[rank - 1];
         }
         // One-shot query: an O(n) selection places exactly the element a
-        // full sort would put at `rank - 1` (nearest-rank semantics are
-        // unchanged; ties are interchangeable f64 duplicates).
+        // full sort would put at `rank - 1`. Under total_cmp the order is
+        // total, so even -0.0 vs +0.0 ties resolve identically in both
+        // paths and the returned bit pattern cannot depend on which path
+        // answered the query.
         let (_, nth, _) = self
             .values
-            .select_nth_unstable_by(rank - 1, |a, b| a.partial_cmp(b).expect("no NaN recorded"));
+            .select_nth_unstable_by(rank - 1, |a, b| a.total_cmp(b));
         *nth
     }
 
@@ -376,11 +380,11 @@ impl TimeWeighted {
     pub fn average(&self, now: Cycles) -> f64 {
         let dt = now.saturating_sub(self.last_change).as_u64() as f64;
         let total = self.integral + self.level * dt;
-        let span = now.as_u64() as f64;
-        if span == 0.0 {
+        // Test the integer cycle count, not the float it converts to.
+        if now.as_u64() == 0 {
             0.0
         } else {
-            total / span
+            total / now.as_u64() as f64
         }
     }
 }
@@ -491,6 +495,38 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn nan_sample_panics() {
         Samples::new().record(f64::NAN);
+    }
+
+    /// Regression: the one-shot selection path and the cached-sort path
+    /// must return bit-identical answers even when the data holds -0.0 and
+    /// +0.0 ties. Under `partial_cmp` the two zeros compare equal and
+    /// either bit pattern could surface depending on which path answered;
+    /// `total_cmp` orders -0.0 < +0.0 in both paths.
+    #[test]
+    fn signed_zero_ties_resolve_identically_in_both_paths() {
+        let data = [0.0_f64, -0.0, 0.0, -0.0, 1.0];
+        // Fresh Samples per query: every answer below uses the selection
+        // path (first query, unsorted).
+        let selected: Vec<u64> = (1..=4)
+            .map(|k| {
+                let mut s: Samples = data.into_iter().collect();
+                s.percentile(k as f64 / 5.0).to_bits()
+            })
+            .collect();
+        // One Samples hammered past SORT_AFTER: answers come from the
+        // cached sorted array.
+        let mut cached: Samples = data.into_iter().collect();
+        for _ in 0..=Samples::SORT_AFTER {
+            let _ = cached.percentile(0.5);
+        }
+        let sorted: Vec<u64> = (1..=4)
+            .map(|k| cached.percentile(k as f64 / 5.0).to_bits())
+            .collect();
+        assert_eq!(selected, sorted, "selection and cached paths disagree bitwise");
+        // And the order itself is the total order: both -0.0s first.
+        assert_eq!(selected[0], (-0.0_f64).to_bits());
+        assert_eq!(selected[1], (-0.0_f64).to_bits());
+        assert_eq!(selected[2], 0.0_f64.to_bits());
     }
 
     #[test]

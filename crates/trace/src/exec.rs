@@ -44,6 +44,9 @@ impl ExecTrace {
     }
 }
 
+// hh-lint: allow(wall-clock-in-sim): the exec collector is the one
+// sanctioned host-time consumer — it measures executor spans for the
+// Perfetto timeline and never feeds simulated time.
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 static SPANS: Mutex<Vec<ExecSpan>> = Mutex::new(Vec::new());
 static OCCUPANCY: Mutex<Vec<(f64, i64)>> = Mutex::new(Vec::new());
@@ -51,6 +54,8 @@ static ACTIVE: AtomicI64 = AtomicI64::new(0);
 
 /// Microseconds elapsed since the first call in this process.
 pub fn wall_us() -> f64 {
+    // hh-lint: allow(wall-clock-in-sim): executor-span timing is host
+    // time by definition; sim time flows through Cycles, never this.
     EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64() * 1e6
 }
 

@@ -20,7 +20,7 @@ fn identical_seeds_produce_identical_metrics() {
     let b = RunPlan::with_workers(2).run_cluster(SystemSpec::hardharvest_block(), tiny(), 123);
     assert_eq!(a.pooled_latency_ms().values(), b.pooled_latency_ms().values());
     assert_eq!(a.avg_busy_cores(), b.avg_busy_cores());
-    for (sa, sb) in a.servers.iter().zip(&b.servers) {
+    for (sa, sb) in a.servers().iter().zip(b.servers()) {
         assert_eq!(sa.batch_units, sb.batch_units);
         assert_eq!(sa.reassignments, sb.reassignments);
         assert_eq!(sa.reclaims, sb.reclaims);
@@ -47,7 +47,7 @@ fn parallel_servers_do_not_race() {
     // depend only on its own config/seed.
     let a = RunPlan::with_workers(1).run_cluster(SystemSpec::harvest_block(), tiny(), 77);
     let b = RunPlan::with_workers(4).run_cluster(SystemSpec::harvest_block(), tiny(), 77);
-    for (sa, sb) in a.servers.iter().zip(&b.servers) {
+    for (sa, sb) in a.servers().iter().zip(b.servers()) {
         assert_eq!(
             sa.pooled_latency_ms().values(),
             sb.pooled_latency_ms().values()

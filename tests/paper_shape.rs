@@ -99,8 +99,8 @@ fn term_vs_block_tradeoff() {
         t_block >= 0.95 * t_term,
         "block {t_block:.0} should not trail term {t_term:.0}"
     );
-    let re_term: u64 = term.servers.iter().map(|s| s.reassignments).sum();
-    let re_block: u64 = block.servers.iter().map(|s| s.reassignments).sum();
+    let re_term: u64 = term.servers().iter().map(|s| s.reassignments).sum();
+    let re_block: u64 = block.servers().iter().map(|s| s.reassignments).sum();
     assert!(re_block >= re_term);
 }
 
